@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the RepGen generator (paper §3, Table 5):
+//! how long it takes to build small (n, q)-complete ECC sets for each gate
+//! set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quartz_gen::{GenConfig, Generator};
+use quartz_ir::GateSet;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repgen");
+    group.sample_size(10);
+    let cases = [
+        ("nam_n2_q2", GateSet::nam(), 2usize, 2usize, 2usize),
+        ("nam_n3_q2", GateSet::nam(), 3, 2, 2),
+        ("rigetti_n2_q2", GateSet::rigetti(), 2, 2, 2),
+        ("ibm_n1_q2", GateSet::ibm(), 1, 2, 4),
+    ];
+    for (name, gate_set, n, q, m) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(gate_set, n, q, m), |b, (gs, n, q, m)| {
+            b.iter(|| {
+                let (set, _) = Generator::new(gs.clone(), GenConfig::standard(*n, *q, *m)).run();
+                std::hint::black_box(set.num_transformations())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_possible_circuit_counting(c: &mut Criterion) {
+    let spec = quartz_ir::ExprSpec::standard(2);
+    let nam = GateSet::nam();
+    c.bench_function("count_possible_circuits_nam_n7_q3", |b| {
+        b.iter(|| std::hint::black_box(quartz_gen::count_possible_circuits(&nam, 3, &spec, 7)))
+    });
+}
+
+criterion_group!(benches, bench_generator, bench_possible_circuit_counting);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the optimizer (paper §6): preprocessing,
+//! the greedy baseline, and short cost-based searches on benchmark circuits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quartz_bench::{build_ecc_set, GateSetKind};
+use quartz_circuits::suite;
+use quartz_opt::{greedy_optimize, preprocess_nam, Optimizer, SearchConfig};
+use std::time::Duration;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    for name in ["tof_3", "mod5_4", "rc_adder_6"] {
+        let circuit = suite::build_clifford_t(name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(preprocess_nam(&circuit).gate_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_baseline(c: &mut Criterion) {
+    let circuit = suite::build_clifford_t("tof_5").unwrap();
+    c.bench_function("greedy_baseline_tof_5", |b| {
+        b.iter(|| std::hint::black_box(greedy_optimize(&circuit).0.gate_count()))
+    });
+}
+
+fn bench_search_iterations(c: &mut Criterion) {
+    let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 3, 2);
+    let optimizer = Optimizer::from_ecc_set(
+        &ecc_set,
+        SearchConfig {
+            timeout: Duration::from_secs(30),
+            max_iterations: 5,
+            ..SearchConfig::default()
+        },
+    );
+    let circuit = preprocess_nam(&suite::build_clifford_t("tof_3").unwrap());
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    group.bench_function("tof_3_five_iterations", |b| {
+        b.iter(|| std::hint::black_box(optimizer.optimize(&circuit).best_cost))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing, bench_greedy_baseline, bench_search_iterations);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Reproduces Table 4: gate-count results for the Rigetti gate set.
+//!
+//! Usage: `cargo run --release -p quartz-bench --bin table4_rigetti [-- --scale full --timeout <secs> --n <n> --q <q>]`
+
+use quartz_bench::{paper_geo_mean, print_optimization_table, run_optimization_experiment, GateSetKind, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = GateSetKind::Rigetti;
+    let scale = Scale::from_args(kind, &args);
+    let rows = run_optimization_experiment(kind, &scale);
+    print_optimization_table(kind, &scale, &rows, paper_geo_mean(kind));
+}

@@ -1,0 +1,33 @@
+//! # quartz-circuits
+//!
+//! The benchmark circuit suite of the Quartz superoptimizer reproduction
+//! (paper §7.2): programmatic constructions of the 26 circuits used in
+//! Tables 2–4 — multi-controlled Toffolis, ripple-carry / carry-lookahead /
+//! carry-select adders, GF(2ⁿ) multipliers and small modular-arithmetic
+//! oracles — plus an approximate QFT family.
+//!
+//! The circuits are built at the Toffoli level and expanded to Clifford+T
+//! with [`expand_toffolis_to_clifford_t`]; [`suite::full_suite`] returns the
+//! 26 named Clifford+T circuits whose gate counts the evaluation harness
+//! reports as the `Orig.` column.
+//!
+//! # Example
+//!
+//! ```
+//! use quartz_circuits::suite;
+//!
+//! let tof_3 = suite::build_clifford_t("tof_3").unwrap();
+//! assert_eq!(tof_3.gate_count(), 45); // 3 Toffolis × 15 Clifford+T gates
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builders;
+pub mod families;
+mod qft;
+pub mod suite;
+
+pub use builders::{expand_toffolis_to_clifford_t, Builder};
+pub use qft::approximate_qft;
+pub use suite::{build_clifford_t, build_logical, full_suite, quick_suite, BENCHMARK_NAMES, QUICK_BENCHMARK_NAMES};

@@ -1,0 +1,80 @@
+//! Quantum Fourier transform circuits (an additional workload family,
+//! mentioned in the paper's benchmark description).
+//!
+//! The controlled-phase angles of the exact QFT are π/2ᵏ; this crate's IR
+//! represents constant angles as integer multiples of π/4, so the
+//! construction here is the *approximate* QFT truncated at controlled-S
+//! (nearest-neighbour rotations only), the truncation regime commonly used
+//! with fault-tolerant gate sets.
+
+use crate::builders::Builder;
+use quartz_ir::{Circuit, Gate, Instruction, ParamExpr};
+
+/// An approximate QFT over `n` qubits with controlled rotations truncated at
+/// controlled-S, expressed over H, Rz and CNOT.
+pub fn approximate_qft(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut b = Builder::new(n);
+    for target in 0..n {
+        b.h(target);
+        if target + 1 < n {
+            // Controlled-S from the next qubit: CP(π/2).
+            controlled_phase_half_pi(&mut b, target + 1, target);
+        }
+    }
+    // Qubit reversal.
+    let mut circuit = b.build();
+    for i in 0..n / 2 {
+        circuit.push(Instruction::new(Gate::Swap, vec![i, n - 1 - i], vec![]));
+    }
+    circuit
+}
+
+/// A controlled phase of π/2 (controlled-S) decomposed into Rz rotations and
+/// CNOTs: CP(π/2) = Rz(π/4)⊗Rz(π/4) · CNOT · (I⊗Rz(−π/4)) · CNOT up to a
+/// global phase.
+fn controlled_phase_half_pi(b: &mut Builder, control: usize, target: usize) {
+    let quarter = ParamExpr::constant_pi4(1);
+    b.rz(control, quarter.clone());
+    b.rz(target, quarter.clone());
+    b.cx(control, target);
+    b.rz(target, quarter.negate());
+    b.cx(control, target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_ir::{circuit_unitary, equivalent_up_to_phase};
+
+    #[test]
+    fn qft_is_unitary_and_has_expected_structure() {
+        for n in [1usize, 2, 3, 4] {
+            let c = approximate_qft(n);
+            assert_eq!(c.count_gate(Gate::H), n);
+            let u = circuit_unitary(&c, &[]);
+            assert!(u.is_unitary(1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn controlled_phase_matches_cz_squareroot() {
+        // Two applications of the controlled-S block equal a CZ.
+        let mut b = Builder::new(2);
+        controlled_phase_half_pi(&mut b, 0, 1);
+        controlled_phase_half_pi(&mut b, 0, 1);
+        let twice = b.build();
+        let mut cz = Circuit::new(2, 0);
+        cz.push(Instruction::new(Gate::Cz, vec![0, 1], vec![]));
+        assert!(equivalent_up_to_phase(&twice, &cz, &[], 1e-9));
+    }
+
+    #[test]
+    fn two_qubit_qft_columns_are_uniform_magnitude() {
+        let c = approximate_qft(2);
+        let u = circuit_unitary(&c, &[]);
+        for row in 0..4 {
+            assert!((u.get(row, 0).norm() - 0.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The named benchmark suite used in the Quartz evaluation (§7.2): the 26
+//! circuits of Tables 2–4, exposed in their Clifford+T form.
+
+use crate::builders::expand_toffolis_to_clifford_t;
+use crate::families;
+use quartz_ir::Circuit;
+
+/// Names of the 26 benchmark circuits, in the order used by the paper's
+/// tables.
+pub const BENCHMARK_NAMES: [&str; 26] = [
+    "adder_8",
+    "barenco_tof_3",
+    "barenco_tof_4",
+    "barenco_tof_5",
+    "barenco_tof_10",
+    "csla_mux_3",
+    "csum_mux_9",
+    "gf2^4_mult",
+    "gf2^5_mult",
+    "gf2^6_mult",
+    "gf2^7_mult",
+    "gf2^8_mult",
+    "gf2^9_mult",
+    "gf2^10_mult",
+    "mod5_4",
+    "mod_mult_55",
+    "mod_red_21",
+    "qcla_adder_10",
+    "qcla_com_7",
+    "qcla_mod_7",
+    "rc_adder_6",
+    "tof_3",
+    "tof_4",
+    "tof_5",
+    "tof_10",
+    "vbe_adder_3",
+];
+
+/// A small subset of the suite suited to quick runs (used by the scaled-down
+/// default mode of the evaluation harness and by tests).
+pub const QUICK_BENCHMARK_NAMES: [&str; 8] = [
+    "barenco_tof_3",
+    "csla_mux_3",
+    "mod5_4",
+    "mod_mult_55",
+    "rc_adder_6",
+    "tof_3",
+    "tof_5",
+    "vbe_adder_3",
+];
+
+/// Builds a benchmark circuit by name, at the Toffoli level (CCX/CCZ left as
+/// single gates). Returns `None` for unknown names.
+pub fn build_logical(name: &str) -> Option<Circuit> {
+    let circuit = match name {
+        "adder_8" => families::adder_8(),
+        "barenco_tof_3" => families::barenco_tof(3),
+        "barenco_tof_4" => families::barenco_tof(4),
+        "barenco_tof_5" => families::barenco_tof(5),
+        "barenco_tof_10" => families::barenco_tof(10),
+        "csla_mux_3" => families::csla_mux(3),
+        "csum_mux_9" => families::csum_mux(9),
+        "gf2^4_mult" => families::gf2_mult(4),
+        "gf2^5_mult" => families::gf2_mult(5),
+        "gf2^6_mult" => families::gf2_mult(6),
+        "gf2^7_mult" => families::gf2_mult(7),
+        "gf2^8_mult" => families::gf2_mult(8),
+        "gf2^9_mult" => families::gf2_mult(9),
+        "gf2^10_mult" => families::gf2_mult(10),
+        "mod5_4" => families::mod5_4(),
+        "mod_mult_55" => families::mod_mult_55(),
+        "mod_red_21" => families::mod_red_21(),
+        "qcla_adder_10" => families::qcla_adder(10),
+        "qcla_com_7" => families::qcla_com(7),
+        "qcla_mod_7" => families::qcla_mod(7),
+        "rc_adder_6" => families::rc_adder(6),
+        "tof_3" => families::tof_ladder(3),
+        "tof_4" => families::tof_ladder(4),
+        "tof_5" => families::tof_ladder(5),
+        "tof_10" => families::tof_ladder(10),
+        "vbe_adder_3" => families::vbe_adder(3),
+        _ => return None,
+    };
+    Some(circuit)
+}
+
+/// Builds a benchmark circuit by name in its Clifford+T form (every Toffoli
+/// expanded into the standard 15-gate network), the form whose gate count
+/// the paper reports as "Orig.".
+pub fn build_clifford_t(name: &str) -> Option<Circuit> {
+    build_logical(name).map(|c| expand_toffolis_to_clifford_t(&c))
+}
+
+/// Builds the full 26-circuit suite in Clifford+T form as
+/// `(name, circuit)` pairs.
+pub fn full_suite() -> Vec<(&'static str, Circuit)> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|&name| (name, build_clifford_t(name).expect("all suite names are valid")))
+        .collect()
+}
+
+/// Builds the quick subset of the suite in Clifford+T form.
+pub fn quick_suite() -> Vec<(&'static str, Circuit)> {
+    QUICK_BENCHMARK_NAMES
+        .iter()
+        .map(|&name| (name, build_clifford_t(name).expect("all suite names are valid")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_ir::{Gate, GateSet};
+
+    #[test]
+    fn every_benchmark_builds_and_is_clifford_t() {
+        let clifford_t = GateSet::clifford_t();
+        for (name, circuit) in full_suite() {
+            assert!(circuit.gate_count() > 10, "{name} is too small");
+            assert!(
+                circuit
+                    .instructions()
+                    .iter()
+                    .all(|i| clifford_t.contains(i.gate) && i.gate != Gate::Ccx && i.gate != Gate::Ccz),
+                "{name} must be pure Clifford+T after expansion"
+            );
+        }
+        assert_eq!(full_suite().len(), 26);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(build_logical("not_a_circuit").is_none());
+        assert!(build_clifford_t("").is_none());
+    }
+
+    #[test]
+    fn family_sizes_are_ordered() {
+        let count = |name: &str| build_clifford_t(name).unwrap().gate_count();
+        assert!(count("tof_3") < count("tof_4"));
+        assert!(count("tof_4") < count("tof_5"));
+        assert!(count("tof_5") < count("tof_10"));
+        assert!(count("gf2^4_mult") < count("gf2^10_mult"));
+        assert!(count("barenco_tof_3") > count("tof_3"));
+    }
+
+    #[test]
+    fn tof_3_matches_paper_original_size() {
+        // The paper's tof_3 has 45 Clifford+T gates (3 Toffolis); our ladder
+        // construction reproduces that exactly.
+        assert_eq!(build_clifford_t("tof_3").unwrap().gate_count(), 45);
+        assert_eq!(build_clifford_t("tof_5").unwrap().gate_count(), 105);
+        assert_eq!(build_clifford_t("tof_10").unwrap().gate_count(), 255);
+    }
+
+    #[test]
+    fn quick_suite_is_a_subset() {
+        let quick = quick_suite();
+        assert_eq!(quick.len(), QUICK_BENCHMARK_NAMES.len());
+        for (name, _) in quick {
+            assert!(BENCHMARK_NAMES.contains(&name));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Counting all possible circuit sequences (the "Possible Circuits" column
+//! of paper Table 6) without enumerating them.
+//!
+//! The count is over sequence representations: every sequence of at most `n`
+//! instructions drawn from the gate set over `q` qubits whose parameter
+//! expressions respect Σ (including the single-use restriction). A dynamic
+//! program over the subset of already-used parameters makes the count cheap
+//! even when the number of sequences runs into the billions.
+
+use quartz_ir::{ExprSpec, GateSet};
+
+/// Returns, for each `j = 0..=max_gates`, the number of valid sequences with
+/// exactly `j` instructions.
+pub fn count_sequences_by_size(
+    gate_set: &GateSet,
+    num_qubits: usize,
+    spec: &ExprSpec,
+    max_gates: usize,
+) -> Vec<u128> {
+    let instructions = gate_set.enumerate_instructions(num_qubits, spec);
+    let m = spec.num_params;
+    let num_subsets = 1usize << m;
+
+    // instructions_per_subset[s] = number of single instructions whose used
+    // parameters are exactly the subset `s`.
+    let mut instructions_per_subset = vec![0u128; num_subsets];
+    for instr in &instructions {
+        let mut mask = 0usize;
+        for p in instr.used_params() {
+            mask |= 1 << p;
+        }
+        instructions_per_subset[mask] += 1;
+    }
+
+    // dp[s] = number of sequences of the current length whose used-parameter
+    // set is exactly `s`.
+    let mut dp = vec![0u128; num_subsets];
+    dp[0] = 1;
+    let mut result = Vec::with_capacity(max_gates + 1);
+    result.push(1u128); // the empty sequence
+    for _ in 1..=max_gates {
+        let mut next = vec![0u128; num_subsets];
+        for (used, &count) in dp.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            for (instr_mask, &instr_count) in instructions_per_subset.iter().enumerate() {
+                if instr_count == 0 {
+                    continue;
+                }
+                if spec.single_use && (used & instr_mask) != 0 {
+                    continue;
+                }
+                next[used | instr_mask] += count * instr_count;
+            }
+        }
+        result.push(next.iter().sum());
+        dp = next;
+    }
+    result
+}
+
+/// Total number of valid sequences with at most `max_gates` instructions
+/// (the "Possible Circuits" column of Table 6, which includes the empty
+/// sequence).
+pub fn count_possible_circuits(
+    gate_set: &GateSet,
+    num_qubits: usize,
+    spec: &ExprSpec,
+    max_gates: usize,
+) -> u128 {
+    count_sequences_by_size(gate_set, num_qubits, spec, max_gates).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_ir::GateSet;
+
+    #[test]
+    fn nam_counts_match_paper_table_6() {
+        // Paper Table 6, Nam gate set, q = 3, m = 2:
+        // n = 2 → 604, n = 3 → 11,404, n = 4 → 198,028.
+        let spec = ExprSpec::standard(2);
+        let nam = GateSet::nam();
+        assert_eq!(count_possible_circuits(&nam, 3, &spec, 2), 604);
+        assert_eq!(count_possible_circuits(&nam, 3, &spec, 3), 11_404);
+        assert_eq!(count_possible_circuits(&nam, 3, &spec, 4), 198_028);
+        assert_eq!(count_possible_circuits(&nam, 3, &spec, 7), 776_616_076);
+    }
+
+    #[test]
+    fn rigetti_counts_match_paper_table_6() {
+        // Paper Table 6, Rigetti gate set, q = 3, m = 2: n = 2 → 778,
+        // n = 5 → 7,354,093.
+        let spec = ExprSpec::standard(2);
+        let rigetti = GateSet::rigetti();
+        assert_eq!(count_possible_circuits(&rigetti, 3, &spec, 2), 778);
+        assert_eq!(count_possible_circuits(&rigetti, 3, &spec, 5), 7_354_093);
+    }
+
+    #[test]
+    fn ibm_counts_match_paper_table_6() {
+        // Paper Table 6, IBM gate set, q = 3, m = 4: n = 2 → 35,005,
+        // n = 4 → 6,446,209.
+        let spec = ExprSpec::standard(4);
+        let ibm = GateSet::ibm();
+        assert_eq!(count_possible_circuits(&ibm, 3, &spec, 2), 35_005);
+        assert_eq!(count_possible_circuits(&ibm, 3, &spec, 4), 6_446_209);
+    }
+
+    #[test]
+    fn per_size_counts_sum_to_total() {
+        let spec = ExprSpec::standard(2);
+        let nam = GateSet::nam();
+        let by_size = count_sequences_by_size(&nam, 2, &spec, 3);
+        assert_eq!(by_size[0], 1);
+        assert_eq!(by_size[1], 16); // characteristic for q = 2
+        assert_eq!(by_size.iter().sum::<u128>(), count_possible_circuits(&nam, 2, &spec, 3));
+    }
+
+    #[test]
+    fn without_single_use_restriction_counts_are_larger() {
+        let mut spec = ExprSpec::standard(2);
+        let restricted = count_possible_circuits(&GateSet::nam(), 2, &spec, 3);
+        spec.single_use = false;
+        let unrestricted = count_possible_circuits(&GateSet::nam(), 2, &spec, 3);
+        assert!(unrestricted > restricted);
+    }
+}

@@ -1,0 +1,41 @@
+//! # quartz-gen
+//!
+//! The circuit generator of the Quartz superoptimizer reproduction:
+//! the RepGen algorithm (paper §3), equivalent circuit classes, and the
+//! pruning passes of §5.
+//!
+//! * [`Generator`] runs Algorithm 1 for a gate set, producing an
+//!   (n, q)-complete [`EccSet`] together with [`GenStats`] (the metrics of
+//!   paper Tables 5, 6 and 8).
+//! * [`prune`] applies ECC simplification and common-subcircuit pruning.
+//! * [`count_possible_circuits`] computes the brute-force sequence counts the
+//!   paper compares against in Table 6.
+//!
+//! # Example
+//!
+//! ```
+//! use quartz_gen::{Generator, GenConfig, prune};
+//! use quartz_ir::GateSet;
+//!
+//! let (ecc_set, stats) = Generator::new(
+//!     GateSet::nam(),
+//!     GenConfig::standard(2, 2, 1),
+//! ).run();
+//! let (pruned, prune_stats) = prune(&ecc_set);
+//! assert!(pruned.num_transformations() <= ecc_set.num_transformations());
+//! assert!(stats.circuits_considered > 0);
+//! assert!(prune_stats.circuits_before >= prune_stats.circuits_after_common_subcircuit);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod count;
+mod ecc;
+mod prune;
+mod repgen;
+
+pub use count::{count_possible_circuits, count_sequences_by_size};
+pub use ecc::{Ecc, EccSet};
+pub use prune::{prune, prune_common_subcircuits, simplify_eccs, PruneStats};
+pub use repgen::{GenConfig, GenStats, Generator};

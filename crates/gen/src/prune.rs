@@ -1,0 +1,325 @@
+//! Pruning of redundant transformations (paper §5).
+//!
+//! Two passes run after RepGen:
+//!
+//! * **ECC simplification** (§5.1): remove qubits and parameters that no
+//!   circuit in a class uses, then deduplicate classes that become identical,
+//!   including up to a permutation of the parameters.
+//! * **Common subcircuit pruning** (§5.2): drop class members that share a
+//!   first or last gate with their representative; Theorem 4 shows the
+//!   corresponding transformations are subsumed by smaller ones.
+
+use crate::ecc::{Ecc, EccSet};
+use quartz_ir::Circuit;
+use std::collections::HashSet;
+
+/// Statistics for the pruning passes (paper Table 6).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Total circuits before any pruning.
+    pub circuits_before: usize,
+    /// Total circuits after ECC simplification.
+    pub circuits_after_simplification: usize,
+    /// Total circuits after common-subcircuit pruning.
+    pub circuits_after_common_subcircuit: usize,
+    /// Number of classes merged or dropped as duplicates during
+    /// simplification.
+    pub duplicate_classes_removed: usize,
+}
+
+/// Runs ECC simplification (§5.1): removes unused qubits and parameters from
+/// every class and drops duplicate classes (including duplicates up to a
+/// permutation of the parameters).
+pub fn simplify_eccs(set: &EccSet) -> (EccSet, usize) {
+    let mut seen: HashSet<Vec<Circuit>> = HashSet::new();
+    let mut out = EccSet::new(set.num_qubits, set.num_params);
+    let mut duplicates = 0usize;
+
+    for ecc in &set.eccs {
+        let simplified = simplify_ecc(ecc);
+        // Canonical key: the member list under the best parameter
+        // permutation (smallest under the circuit precedence order, compared
+        // member-wise).
+        let key = canonical_under_param_permutation(&simplified);
+        if seen.insert(key) {
+            out.eccs.push(simplified);
+        } else {
+            duplicates += 1;
+        }
+    }
+    (out, duplicates)
+}
+
+/// Removes unused qubits and parameters from a single class.
+fn simplify_ecc(ecc: &Ecc) -> Ecc {
+    let circuits = ecc.circuits();
+    let num_qubits = circuits[0].num_qubits();
+    let num_params = circuits[0].num_params();
+
+    // Union of used qubits / parameters across all members.
+    let mut used_qubits = vec![false; num_qubits];
+    let mut used_params = vec![false; num_params];
+    for c in circuits {
+        for q in c.used_qubits() {
+            used_qubits[q] = true;
+        }
+        for p in c.used_params() {
+            used_params[p] = true;
+        }
+    }
+
+    let qubit_map: Vec<usize> = {
+        let mut map = vec![0usize; num_qubits];
+        let mut next = 0;
+        for (q, m) in map.iter_mut().enumerate() {
+            if used_qubits[q] {
+                *m = next;
+                next += 1;
+            }
+        }
+        map
+    };
+    let new_num_qubits = used_qubits.iter().filter(|&&u| u).count().max(1);
+    let param_map: Vec<usize> = {
+        let mut map = vec![0usize; num_params];
+        let mut next = 0;
+        for (p, m) in map.iter_mut().enumerate() {
+            if used_params[p] {
+                *m = next;
+                next += 1;
+            }
+        }
+        map
+    };
+    let new_num_params = used_params.iter().filter(|&&u| u).count();
+
+    let members: Vec<Circuit> = circuits
+        .iter()
+        .map(|c| c.remap_qubits(&qubit_map, new_num_qubits).remap_params(&param_map, new_num_params))
+        .collect();
+    Ecc::new(members)
+}
+
+/// Canonical member list under all permutations of the class's parameters.
+fn canonical_under_param_permutation(ecc: &Ecc) -> Vec<Circuit> {
+    let num_params = ecc.representative().num_params();
+    let members: Vec<Circuit> = ecc.circuits().to_vec();
+    if num_params <= 1 {
+        return members;
+    }
+    let mut best: Option<Vec<Circuit>> = None;
+    for perm in permutations(num_params) {
+        let mut renamed: Vec<Circuit> = members
+            .iter()
+            .map(|c| c.remap_params(&perm, num_params))
+            .collect();
+        renamed.sort_by(|a, b| a.precedence_cmp(b));
+        let better = match &best {
+            None => true,
+            Some(cur) => list_precedes(&renamed, cur),
+        };
+        if better {
+            best = Some(renamed);
+        }
+    }
+    best.unwrap_or(members)
+}
+
+fn list_precedes(a: &[Circuit], b: &[Circuit]) -> bool {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.precedence_cmp(y) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => continue,
+        }
+    }
+    a.len() < b.len()
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    fn rec(n: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == n {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..n {
+            if !current.contains(&i) {
+                current.push(i);
+                rec(n, current, out);
+                current.pop();
+            }
+        }
+    }
+    rec(n, &mut current, &mut out);
+    out
+}
+
+/// Runs common-subcircuit pruning (§5.2): removes non-representative members
+/// that share a first gate or a last gate with their representative, then
+/// drops classes that become singletons.
+pub fn prune_common_subcircuits(set: &EccSet) -> EccSet {
+    let mut out = EccSet::new(set.num_qubits, set.num_params);
+    for ecc in &set.eccs {
+        let rep = ecc.representative().clone();
+        let mut members = vec![rep.clone()];
+        for c in ecc.circuits().iter().skip(1) {
+            if shares_boundary_gate(&rep, c) {
+                continue;
+            }
+            members.push(c.clone());
+        }
+        if members.len() >= 2 {
+            out.eccs.push(Ecc::new(members));
+        }
+    }
+    out
+}
+
+/// Returns `true` if the two circuits share an identical first instruction or
+/// an identical last instruction (the single-gate check the paper uses to
+/// implement common-subcircuit pruning).
+fn shares_boundary_gate(a: &Circuit, b: &Circuit) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    let a_first = &a.instructions()[0];
+    let b_first = &b.instructions()[0];
+    let a_last = a.instructions().last().expect("non-empty");
+    let b_last = b.instructions().last().expect("non-empty");
+    a_first == b_first || a_last == b_last
+}
+
+/// Runs both pruning passes and reports statistics.
+pub fn prune(set: &EccSet) -> (EccSet, PruneStats) {
+    let circuits_before = set.total_circuits();
+    let (simplified, duplicate_classes_removed) = simplify_eccs(set);
+    let circuits_after_simplification = simplified.total_circuits();
+    let pruned = prune_common_subcircuits(&simplified);
+    let stats = PruneStats {
+        circuits_before,
+        circuits_after_simplification,
+        circuits_after_common_subcircuit: pruned.total_circuits(),
+        duplicate_classes_removed,
+    };
+    (pruned, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_ir::{equivalent_up_to_phase, Gate, Instruction, ParamExpr};
+
+    fn h(q: usize, nq: usize) -> Circuit {
+        let mut c = Circuit::new(nq, 0);
+        c.push(Instruction::new(Gate::H, vec![q], vec![]));
+        c
+    }
+
+    #[test]
+    fn simplification_removes_unused_qubits() {
+        // Two equivalent single-qubit circuits defined over 3 qubits, using
+        // only qubit 2.
+        let mut a = Circuit::new(3, 0);
+        a.push(Instruction::new(Gate::H, vec![2], vec![]));
+        a.push(Instruction::new(Gate::H, vec![2], vec![]));
+        let b = Circuit::new(3, 0);
+        let ecc = Ecc::new(vec![a, b]);
+        let mut set = EccSet::new(3, 0);
+        set.eccs.push(ecc);
+        let (simplified, _) = simplify_eccs(&set);
+        assert_eq!(simplified.eccs[0].circuits()[1].num_qubits(), 1);
+        assert_eq!(simplified.eccs[0].circuits()[1].used_qubits(), vec![0]);
+    }
+
+    #[test]
+    fn simplification_merges_duplicate_classes() {
+        // The same H-H ≡ empty identity expressed on qubit 0 and on qubit 1
+        // becomes a single class after unused-qubit removal.
+        let make = |q: usize| {
+            let mut a = Circuit::new(2, 0);
+            a.push(Instruction::new(Gate::H, vec![q], vec![]));
+            a.push(Instruction::new(Gate::H, vec![q], vec![]));
+            Ecc::new(vec![a, Circuit::new(2, 0)])
+        };
+        let mut set = EccSet::new(2, 0);
+        set.eccs.push(make(0));
+        set.eccs.push(make(1));
+        let (simplified, duplicates) = simplify_eccs(&set);
+        assert_eq!(simplified.len(), 1);
+        assert_eq!(duplicates, 1);
+    }
+
+    #[test]
+    fn simplification_merges_parameter_permutations() {
+        // Rz(p0) Rz(p1) ≡ Rz(p1) Rz(p0), written with the two parameter
+        // names swapped, is the same class up to parameter permutation.
+        let make = |first: usize, second: usize| {
+            let m = 2;
+            let mut a = Circuit::new(1, m);
+            a.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(first, m)]));
+            a.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(second, m)]));
+            let mut b = Circuit::new(1, m);
+            b.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(second, m)]));
+            b.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(first, m)]));
+            Ecc::new(vec![a, b])
+        };
+        let mut set = EccSet::new(1, 2);
+        set.eccs.push(make(0, 1));
+        set.eccs.push(make(1, 0));
+        let (simplified, duplicates) = simplify_eccs(&set);
+        assert_eq!(simplified.len(), 1);
+        assert_eq!(duplicates, 1);
+    }
+
+    #[test]
+    fn common_subcircuit_pruning_drops_shared_boundary_members() {
+        // Class {empty, H0 H0, H0 H0 H1 H1}: the 4-gate member shares its
+        // first gate with the 2-gate member? No — members are compared with
+        // the representative (empty), which has no gates, so nothing shares a
+        // boundary with it. Use a class whose representative is nonempty.
+        let rep = h(0, 2);
+        let mut with_prefix = h(0, 2);
+        with_prefix.push(Instruction::new(Gate::X, vec![1], vec![]));
+        with_prefix.push(Instruction::new(Gate::X, vec![1], vec![]));
+        let mut different = Circuit::new(2, 0);
+        different.push(Instruction::new(Gate::X, vec![0], vec![]));
+        different.push(Instruction::new(Gate::H, vec![0], vec![]));
+        different.push(Instruction::new(Gate::X, vec![0], vec![]));
+        // rep = H0; with_prefix = H0 X1 X1 (shares first gate) ;
+        // different = X0 H0 X0 (shares nothing).
+        let ecc = Ecc::new(vec![rep.clone(), with_prefix.clone(), different.clone()]);
+        let mut set = EccSet::new(2, 0);
+        set.eccs.push(ecc);
+        let pruned = prune_common_subcircuits(&set);
+        assert_eq!(pruned.eccs[0].len(), 2);
+        assert!(pruned.eccs[0].contains(&different));
+        assert!(!pruned.eccs[0].contains(&with_prefix));
+    }
+
+    #[test]
+    fn pruning_preserves_member_equivalence() {
+        use crate::repgen::{GenConfig, Generator};
+        use quartz_ir::GateSet;
+        let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 1)).run();
+        let (pruned, stats) = prune(&set);
+        assert!(stats.circuits_after_common_subcircuit <= stats.circuits_after_simplification);
+        assert!(stats.circuits_after_simplification <= stats.circuits_before);
+        for ecc in &pruned.eccs {
+            let rep = ecc.representative();
+            for c in ecc.circuits() {
+                assert!(equivalent_up_to_phase(rep, c, &[0.61], 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn full_prune_pipeline_counts() {
+        let mut set = EccSet::new(2, 0);
+        set.eccs.push(Ecc::new(vec![h(0, 2).appended(Instruction::new(Gate::H, vec![0], vec![])), Circuit::new(2, 0)]));
+        let (pruned, stats) = prune(&set);
+        assert_eq!(stats.circuits_before, 2);
+        assert_eq!(pruned.total_circuits(), stats.circuits_after_common_subcircuit);
+    }
+}

@@ -1,0 +1,59 @@
+//! # quartz-ir
+//!
+//! Symbolic quantum circuit intermediate representation for the Quartz
+//! superoptimizer reproduction (paper §2).
+//!
+//! The crate provides:
+//!
+//! * [`Gate`] — the gate vocabulary with numeric and exact symbolic matrix
+//!   semantics;
+//! * [`ParamExpr`] / [`ExprSpec`] — symbolic parameter expressions and the
+//!   specification Σ restricting how they may be formed;
+//! * [`Instruction`] / [`Circuit`] — the sequence representation of symbolic
+//!   circuits, including the precedence order ≺ used by RepGen;
+//! * [`GateSet`] — the Nam, IBM, Rigetti and Clifford+T gate sets of the
+//!   paper, and the enumeration of single-gate circuits;
+//! * [`semantics`] — state-vector simulation, full unitaries, equivalence up
+//!   to global phase, and the fingerprinting of eq. (3);
+//! * [`qasm`] — an OpenQASM 2.0 subset parser and printer.
+//!
+//! # Example
+//!
+//! ```
+//! use quartz_ir::{Circuit, Gate, GateSet, Instruction, semantics};
+//!
+//! // Build the four-Hadamard CNOT-flip circuit from Figure 3a ...
+//! let mut lhs = Circuit::new(2, 0);
+//! for q in [0, 1] {
+//!     lhs.push(Instruction::new(Gate::H, vec![q], vec![]));
+//! }
+//! lhs.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+//! for q in [0, 1] {
+//!     lhs.push(Instruction::new(Gate::H, vec![q], vec![]));
+//! }
+//! // ... and check it equals the flipped CNOT.
+//! let mut rhs = Circuit::new(2, 0);
+//! rhs.push(Instruction::new(Gate::Cnot, vec![1, 0], vec![]));
+//! assert!(semantics::equivalent_up_to_phase(&lhs, &rhs, &[], 1e-10));
+//! assert!(GateSet::nam().supports_circuit(&lhs));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod circuit;
+mod gate;
+mod gateset;
+mod param;
+pub mod qasm;
+pub mod semantics;
+
+pub use circuit::{Circuit, Instruction};
+pub use gate::{Gate, ALL_GATES};
+pub use gateset::GateSet;
+pub use param::{ExprSpec, ParamExpr, UnsupportedAngleError};
+pub use qasm::{parse_qasm, to_qasm, QasmError};
+pub use semantics::{
+    apply_circuit, apply_instruction, basis_state, circuit_unitary, equivalent_up_to_phase,
+    inner_product, FingerprintContext, StateVector,
+};

@@ -1,0 +1,347 @@
+//! Numeric semantics of circuits: state-vector simulation, full unitaries,
+//! and the fingerprinting used by the RepGen generator (paper §3.1, eq. 3).
+
+use crate::circuit::{Circuit, Instruction};
+use quartz_math::{Complex64, Matrix};
+
+/// A quantum state over `n` qubits as a dense vector of 2ⁿ amplitudes.
+///
+/// Basis convention: amplitude index `b` assigns bit `(b >> q) & 1` to qubit
+/// `q` (qubit 0 is the least-significant bit).
+pub type StateVector = Vec<Complex64>;
+
+/// Creates the computational basis state |index⟩ over `num_qubits` qubits.
+///
+/// # Panics
+///
+/// Panics if `index >= 2^num_qubits`.
+pub fn basis_state(num_qubits: usize, index: usize) -> StateVector {
+    let dim = 1usize << num_qubits;
+    assert!(index < dim, "basis state index out of range");
+    let mut v = vec![Complex64::zero(); dim];
+    v[index] = Complex64::one();
+    v
+}
+
+/// Applies a single instruction to a state vector in place.
+///
+/// `param_values` are the concrete values of the circuit's formal parameters.
+pub fn apply_instruction(state: &mut StateVector, instr: &Instruction, param_values: &[f64]) {
+    let k = instr.gate.num_qubits();
+    let concrete: Vec<f64> = instr.params.iter().map(|p| p.eval(param_values)).collect();
+    let gate_matrix = instr.gate.numeric_matrix(&concrete);
+    let local_dim = 1usize << k;
+    let n = state.len();
+    let qubits = &instr.qubits;
+
+    // Iterate over all assignments of the non-operand qubits; for each, gather
+    // the local amplitudes, multiply by the gate matrix, and scatter back.
+    let mut scratch = vec![Complex64::zero(); local_dim];
+    let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+    let mut base = 0usize;
+    loop {
+        // `base` runs over indices with zero bits in all operand positions.
+        if base & mask == 0 {
+            for (j, s) in scratch.iter_mut().enumerate() {
+                let mut idx = base;
+                for (t, &q) in qubits.iter().enumerate() {
+                    if (j >> t) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                *s = state[idx];
+            }
+            for (jr, _) in scratch.iter().enumerate() {
+                let mut idx = base;
+                for (t, &q) in qubits.iter().enumerate() {
+                    if (jr >> t) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                let mut acc = Complex64::zero();
+                for (jc, amp) in scratch.iter().enumerate() {
+                    let g = gate_matrix.get(jr, jc);
+                    if g.re != 0.0 || g.im != 0.0 {
+                        acc += *g * *amp;
+                    }
+                }
+                state[idx] = acc;
+            }
+        }
+        base += 1;
+        if base >= n {
+            break;
+        }
+    }
+}
+
+/// Applies a whole circuit to a state vector, returning the new state.
+pub fn apply_circuit(circuit: &Circuit, state: &StateVector, param_values: &[f64]) -> StateVector {
+    assert_eq!(state.len(), 1usize << circuit.num_qubits(), "state dimension mismatch");
+    let mut out = state.clone();
+    for instr in circuit.instructions() {
+        apply_instruction(&mut out, instr, param_values);
+    }
+    out
+}
+
+/// Computes the full 2ⁿ×2ⁿ unitary of a circuit for concrete parameter
+/// values. Only suitable for small qubit counts (it is used on the ≤4-qubit
+/// circuits handled by the generator and in tests).
+pub fn circuit_unitary(circuit: &Circuit, param_values: &[f64]) -> Matrix<Complex64> {
+    let n = circuit.num_qubits();
+    let dim = 1usize << n;
+    let mut columns: Vec<StateVector> = Vec::with_capacity(dim);
+    for col in 0..dim {
+        let state = basis_state(n, col);
+        columns.push(apply_circuit(circuit, &state, param_values));
+    }
+    let mut m = Matrix::zeros(dim, dim);
+    for (col, column) in columns.iter().enumerate() {
+        for (row, amp) in column.iter().enumerate() {
+            m[(row, col)] = *amp;
+        }
+    }
+    m
+}
+
+/// Inner product ⟨a|b⟩ (conjugate-linear in the first argument).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn inner_product(a: &StateVector, b: &StateVector) -> Complex64 {
+    assert_eq!(a.len(), b.len(), "state dimension mismatch in inner product");
+    let mut acc = Complex64::zero();
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Checks whether two circuits are numerically equivalent up to a global
+/// phase for the given parameter values (used in tests and as a sanity check
+/// of the optimizer).
+pub fn equivalent_up_to_phase(a: &Circuit, b: &Circuit, param_values: &[f64], eps: f64) -> bool {
+    if a.num_qubits() != b.num_qubits() {
+        return false;
+    }
+    let ua = circuit_unitary(a, param_values);
+    let ub = circuit_unitary(b, param_values);
+    // Find a nonzero reference entry in ub to estimate the phase.
+    let mut phase = None;
+    for (r, c, v) in ub.entries() {
+        if v.norm() > 1e-9 {
+            let w = *ua.get(r, c);
+            if w.norm() <= 1e-9 {
+                return false;
+            }
+            phase = Some(w * v.recip());
+            break;
+        }
+    }
+    let phase = match phase {
+        Some(p) => p,
+        None => return ua.is_zero(),
+    };
+    if (phase.norm() - 1.0).abs() > eps {
+        return false;
+    }
+    ua.approx_eq(&ub.scale(&phase), eps)
+}
+
+/// Fixed random inputs used for fingerprinting (paper §3.1): parameter
+/// values p⃗₀ and two quantum states |ψ₀⟩, |ψ₁⟩.
+///
+/// The inputs are generated deterministically from a seed so that every
+/// circuit in a generation run is fingerprinted against the same inputs.
+#[derive(Debug, Clone)]
+pub struct FingerprintContext {
+    num_qubits: usize,
+    /// Concrete values of the formal parameters.
+    pub param_values: Vec<f64>,
+    /// The bra state ⟨ψ₀|.
+    pub psi0: StateVector,
+    /// The ket state |ψ₁⟩.
+    pub psi1: StateVector,
+}
+
+impl FingerprintContext {
+    /// Creates a fingerprint context with the given seed.
+    pub fn new(num_qubits: usize, num_params: usize, seed: u64) -> Self {
+        // A small deterministic PRNG (SplitMix64) keeps this reproducible
+        // without depending on RNG crate version details.
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut uniform = move || (next() >> 11) as f64 / (1u64 << 53) as f64;
+
+        let param_values: Vec<f64> = (0..num_params).map(|_| uniform() * std::f64::consts::TAU).collect();
+        let dim = 1usize << num_qubits;
+        let random_state = |uniform: &mut dyn FnMut() -> f64| {
+            let mut v: StateVector = (0..dim)
+                .map(|_| Complex64::new(uniform() - 0.5, uniform() - 0.5))
+                .collect();
+            let norm: f64 = v.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+            for c in &mut v {
+                *c = *c * (1.0 / norm);
+            }
+            v
+        };
+        let psi0 = random_state(&mut uniform);
+        let psi1 = random_state(&mut uniform);
+        FingerprintContext { num_qubits, param_values, psi0, psi1 }
+    }
+
+    /// Number of qubits the context was built for.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The complex amplitude ⟨ψ₀| ⟦C⟧(p⃗₀) |ψ₁⟩ (used both for fingerprints
+    /// and for the phase-factor candidate search of the verifier).
+    pub fn amplitude(&self, circuit: &Circuit) -> Complex64 {
+        assert_eq!(circuit.num_qubits(), self.num_qubits, "fingerprint context qubit count mismatch");
+        let out = apply_circuit(circuit, &self.psi1, &self.param_values);
+        inner_product(&self.psi0, &out)
+    }
+
+    /// The fingerprint |⟨ψ₀| ⟦C⟧(p⃗₀) |ψ₁⟩| of eq. (3).
+    pub fn fingerprint(&self, circuit: &Circuit) -> f64 {
+        self.amplitude(circuit).norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::param::ParamExpr;
+
+    fn instr(gate: Gate, qubits: &[usize]) -> Instruction {
+        Instruction::new(gate, qubits.to_vec(), vec![])
+    }
+
+    #[test]
+    fn bell_state_preparation() {
+        let mut c = Circuit::new(2, 0);
+        c.push(instr(Gate::H, &[0]));
+        c.push(instr(Gate::Cnot, &[0, 1]));
+        let out = apply_circuit(&c, &basis_state(2, 0), &[]);
+        let isq2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((out[0].re - isq2).abs() < 1e-12);
+        assert!((out[3].re - isq2).abs() < 1e-12);
+        assert!(out[1].norm() < 1e-12 && out[2].norm() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_direction_matters() {
+        // CNOT with control 0, target 1 maps |01⟩ (qubit0=1) to |11⟩.
+        let mut c = Circuit::new(2, 0);
+        c.push(instr(Gate::Cnot, &[0, 1]));
+        let out = apply_circuit(&c, &basis_state(2, 0b01), &[]);
+        assert!((out[0b11].norm() - 1.0).abs() < 1e-12);
+        // ... and leaves |10⟩ (qubit1=1) unchanged.
+        let out = apply_circuit(&c, &basis_state(2, 0b10), &[]);
+        assert!((out[0b10].norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        let mut c = Circuit::new(3, 0);
+        c.push(instr(Gate::Ccx, &[0, 1, 2]));
+        for input in 0..8usize {
+            let out = apply_circuit(&c, &basis_state(3, input), &[]);
+            let expected = if input & 0b011 == 0b011 { input ^ 0b100 } else { input };
+            assert!((out[expected].norm() - 1.0).abs() < 1e-12, "input {input}");
+        }
+    }
+
+    #[test]
+    fn circuit_unitary_is_unitary_and_composes() {
+        let mut c = Circuit::new(2, 1);
+        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 1)]));
+        c.push(instr(Gate::H, &[1]));
+        c.push(instr(Gate::Cnot, &[1, 0]));
+        let u = circuit_unitary(&c, &[0.37]);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn unitary_matches_single_gate_matrix() {
+        let mut c = Circuit::new(1, 0);
+        c.push(instr(Gate::H, &[0]));
+        let u = circuit_unitary(&c, &[]);
+        assert!(u.approx_eq(&Gate::H.numeric_matrix(&[]), 1e-12));
+    }
+
+    #[test]
+    fn hh_equals_identity_up_to_phase() {
+        let mut hh = Circuit::new(1, 0);
+        hh.push(instr(Gate::H, &[0]));
+        hh.push(instr(Gate::H, &[0]));
+        let id = Circuit::new(1, 0);
+        assert!(equivalent_up_to_phase(&hh, &id, &[], 1e-10));
+        let mut hx = Circuit::new(1, 0);
+        hx.push(instr(Gate::H, &[0]));
+        hx.push(instr(Gate::X, &[0]));
+        assert!(!equivalent_up_to_phase(&hx, &id, &[], 1e-10));
+    }
+
+    #[test]
+    fn rz_and_u1_equivalent_up_to_phase() {
+        let mut rz = Circuit::new(1, 1);
+        rz.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 1)]));
+        let mut u1 = Circuit::new(1, 1);
+        u1.push(Instruction::new(Gate::U1, vec![0], vec![ParamExpr::var(0, 1)]));
+        for &theta in &[0.0, 0.5, -2.2, 3.9] {
+            assert!(equivalent_up_to_phase(&rz, &u1, &[theta], 1e-10));
+        }
+    }
+
+    #[test]
+    fn fingerprints_equal_for_equivalent_circuits() {
+        let ctx = FingerprintContext::new(2, 1, 42);
+        // Rz(p0) on qubit 0 commutes with X on qubit 1.
+        let mut a = Circuit::new(2, 1);
+        a.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 1)]));
+        a.push(instr(Gate::X, &[1]));
+        let mut b = Circuit::new(2, 1);
+        b.push(instr(Gate::X, &[1]));
+        b.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 1)]));
+        assert!((ctx.fingerprint(&a) - ctx.fingerprint(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprints_differ_for_inequivalent_circuits() {
+        let ctx = FingerprintContext::new(2, 0, 7);
+        let mut a = Circuit::new(2, 0);
+        a.push(instr(Gate::H, &[0]));
+        let mut b = Circuit::new(2, 0);
+        b.push(instr(Gate::X, &[0]));
+        assert!((ctx.fingerprint(&a) - ctx.fingerprint(&b)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn fingerprint_context_is_deterministic() {
+        let a = FingerprintContext::new(3, 2, 99);
+        let b = FingerprintContext::new(3, 2, 99);
+        assert_eq!(a.param_values, b.param_values);
+        assert_eq!(a.psi0, b.psi0);
+        let c = FingerprintContext::new(3, 2, 100);
+        assert_ne!(a.param_values, c.param_values);
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_linear() {
+        let a = vec![Complex64::new(0.0, 1.0), Complex64::zero()];
+        let b = vec![Complex64::new(0.0, 1.0), Complex64::zero()];
+        let ip = inner_product(&a, &b);
+        assert!((ip.re - 1.0).abs() < 1e-15 && ip.im.abs() < 1e-15);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the circuit IR: random circuits stay unitary,
+//! fingerprints respect equivalence, and structural operations behave.
+
+use proptest::prelude::*;
+use quartz_ir::{
+    circuit_unitary, equivalent_up_to_phase, Circuit, FingerprintContext, Gate, GateSet,
+    Instruction, ParamExpr,
+};
+
+/// Strategy producing a random instruction over `nq` qubits and `m` params
+/// drawn from the Clifford+T + Rz vocabulary.
+fn arb_instruction(nq: usize, m: usize) -> impl Strategy<Value = Instruction> {
+    let gates = prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        Just(Gate::Rz),
+        Just(Gate::Cnot),
+        Just(Gate::Cz),
+    ];
+    (gates, 0..nq, 0..nq.max(2), -4i32..=4, 0..m.max(1)).prop_filter_map(
+        "operands must be distinct",
+        move |(gate, q0, q1_raw, quarters, param)| {
+            let q1 = q1_raw % nq;
+            match gate.num_qubits() {
+                1 => {
+                    let params = if gate.num_params() == 1 {
+                        if m == 0 {
+                            vec![ParamExpr::constant_pi4(quarters)]
+                        } else {
+                            vec![ParamExpr::var(param % m, m)]
+                        }
+                    } else {
+                        vec![]
+                    };
+                    Some(Instruction::new(gate, vec![q0], params))
+                }
+                2 if q0 != q1 => Some(Instruction::new(gate, vec![q0, q1], vec![])),
+                _ => None,
+            }
+        },
+    )
+}
+
+fn arb_circuit(nq: usize, m: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_instruction(nq, m), 0..max_len).prop_map(move |instrs| {
+        let mut c = Circuit::new(nq, m);
+        for i in instrs {
+            c.push(i);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_circuits_have_unitary_semantics(c in arb_circuit(3, 1, 8), p in -3.0f64..3.0) {
+        let u = circuit_unitary(&c, &[p]);
+        prop_assert!(u.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn circuit_is_equivalent_to_itself_and_to_its_reverse_inverse(c in arb_circuit(2, 0, 6)) {
+        prop_assert!(equivalent_up_to_phase(&c, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_under_commuting_disjoint_gates(
+        c in arb_circuit(3, 1, 5),
+        extra in arb_instruction(3, 1),
+    ) {
+        // Appending a gate and prepending it produce different circuits in
+        // general, but appending the same gate to equal circuits gives equal
+        // fingerprints.
+        let ctx = FingerprintContext::new(3, 1, 11);
+        let a = c.appended(extra.clone());
+        let b = c.appended(extra);
+        prop_assert!((ctx.fingerprint(&a) - ctx.fingerprint(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_first_and_last_reduce_gate_count(c in arb_circuit(2, 0, 6)) {
+        prop_assume!(!c.is_empty());
+        prop_assert_eq!(c.drop_first().gate_count(), c.gate_count() - 1);
+        prop_assert_eq!(c.drop_last().gate_count(), c.gate_count() - 1);
+    }
+
+    #[test]
+    fn precedence_is_a_total_order(a in arb_circuit(2, 0, 4), b in arb_circuit(2, 0, 4)) {
+        let ab = a.precedence_cmp(&b);
+        let ba = b.precedence_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(a.precedence_cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn qasm_round_trip_for_constant_circuits(c in arb_circuit(3, 0, 8)) {
+        let qasm = quartz_ir::to_qasm(&c);
+        let parsed = quartz_ir::parse_qasm(&qasm).unwrap();
+        prop_assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn gate_set_enumeration_has_no_duplicates(nq in 1usize..4) {
+        let spec = quartz_ir::ExprSpec::standard(2);
+        let instrs = GateSet::nam().enumerate_instructions(nq, &spec);
+        let mut seen = std::collections::HashSet::new();
+        for i in &instrs {
+            prop_assert!(seen.insert(i.clone()), "duplicate instruction {i}");
+        }
+        prop_assert_eq!(instrs.len(), GateSet::nam().characteristic(nq, &spec));
+    }
+}

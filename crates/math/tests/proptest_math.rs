@@ -1,0 +1,130 @@
+//! Property-based tests for the exact arithmetic substrate.
+
+use proptest::prelude::*;
+use quartz_math::{BigInt, Cyclotomic, Poly, Rational};
+
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    any::<i128>().prop_map(BigInt::from)
+}
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (-10_000i64..10_000, 1i64..1_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn arb_cyclotomic() -> impl Strategy<Value = Cyclotomic> {
+    (arb_rational(), arb_rational(), arb_rational(), arb_rational()).prop_map(|(a, b, c, d)| {
+        let mut out = Cyclotomic::from_rational(a);
+        out += &Cyclotomic::zeta().scale(&b);
+        out += &Cyclotomic::i().scale(&c);
+        out += &Cyclotomic::root_of_unity(3).scale(&d);
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bigint_add_commutes(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn bigint_mul_distributes(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn bigint_div_rem_reconstructs(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn bigint_string_round_trip(a in arb_bigint()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigInt::from_decimal_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in arb_bigint(), b in arb_bigint()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn rational_field_axioms(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_sub_then_add_round_trips(a in arb_rational(), b in arb_rational()) {
+        prop_assert_eq!(&(&a - &b) + &b, a);
+    }
+
+    #[test]
+    fn cyclotomic_ring_axioms(a in arb_cyclotomic(), b in arb_cyclotomic(), c in arb_cyclotomic()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn cyclotomic_conj_is_involution_and_multiplicative(a in arb_cyclotomic(), b in arb_cyclotomic()) {
+        prop_assert_eq!(a.conj().conj(), a.clone());
+        prop_assert_eq!((&a * &b).conj(), &a.conj() * &b.conj());
+    }
+
+    #[test]
+    fn cyclotomic_inverse(a in arb_cyclotomic()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(&a * &a.inverse(), Cyclotomic::one());
+    }
+
+    #[test]
+    fn cyclotomic_numeric_matches_conjugate(a in arb_cyclotomic()) {
+        let (re, im) = a.to_complex_f64();
+        let (cre, cim) = a.conj().to_complex_f64();
+        prop_assert!((re - cre).abs() < 1e-6);
+        prop_assert!((im + cim).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poly_exp_angles_compose(k1 in -3i64..4, k2 in -3i64..4, r1 in 0i64..8, r2 in 0i64..8) {
+        // e^{iθ1}·e^{iθ2} = e^{i(θ1+θ2)}
+        let a = Poly::exp_i_angle(&[k1, k2], r1);
+        let b = Poly::exp_i_angle(&[k2, k1], r2);
+        let combined = Poly::exp_i_angle(&[k1 + k2, k2 + k1], r1 + r2);
+        prop_assert!(a.mul(&b).sub(&combined).is_zero_mod_trig());
+    }
+
+    #[test]
+    fn poly_trig_normal_form_preserves_value(k in 1i64..4, r in 0i64..8, h in -3.0f64..3.0) {
+        let p = Poly::sin_angle(&[k], r).pow(3).add(&Poly::cos_angle(&[k], r).pow(2));
+        let nf = p.trig_normal_form();
+        let x = p.eval_f64(&[h]);
+        let y = nf.eval_f64(&[h]);
+        prop_assert!((x.re - y.re).abs() < 1e-8 && (x.im - y.im).abs() < 1e-8);
+    }
+
+    #[test]
+    fn poly_pythagoras_any_angle(k in -4i64..5, r in 0i64..8) {
+        let expr = Poly::sin_angle(&[k], r).pow(2)
+            .add(&Poly::cos_angle(&[k], r).pow(2))
+            .sub(&Poly::one());
+        prop_assert!(expr.is_zero_mod_trig());
+    }
+}

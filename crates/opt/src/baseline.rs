@@ -1,0 +1,220 @@
+//! A greedy rule-based baseline optimizer.
+//!
+//! The paper compares Quartz against existing compilers (Qiskit, t|ket⟩,
+//! voqc, Quilc) whose logical-optimization stages apply manually designed
+//! transformations greedily. Those systems cannot be run offline in this
+//! reproduction, so this module provides a representative of the same
+//! class: a fixpoint loop of hand-written peephole rules applied greedily
+//! (adjacent inverse cancellation, rotation fusion, Hadamard–CNOT–Hadamard
+//! flipping, and removal of identity rotations). The evaluation harness uses
+//! it as the "greedy rules" baseline column.
+
+use crate::preprocess::cancel_adjacent_inverses;
+use quartz_ir::{Circuit, Gate, Instruction};
+
+/// Statistics for a baseline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Number of fixpoint iterations performed.
+    pub passes: usize,
+    /// Gate count before optimization.
+    pub gates_before: usize,
+    /// Gate count after optimization.
+    pub gates_after: usize,
+}
+
+/// Runs the greedy rule-based baseline until no rule applies.
+pub fn greedy_optimize(circuit: &Circuit) -> (Circuit, BaselineStats) {
+    let gates_before = circuit.gate_count();
+    let mut current = circuit.clone();
+    let mut passes = 0;
+    loop {
+        passes += 1;
+        let next = one_pass(&current);
+        if next.gate_count() == current.gate_count() && next == current {
+            let stats = BaselineStats { passes, gates_before, gates_after: next.gate_count() };
+            return (next, stats);
+        }
+        current = next;
+        if passes > 1000 {
+            // Defensive bound; the rules strictly reduce or preserve gate
+            // count, so this is unreachable in practice.
+            let stats = BaselineStats { passes, gates_before, gates_after: current.gate_count() };
+            return (current, stats);
+        }
+    }
+}
+
+fn one_pass(circuit: &Circuit) -> Circuit {
+    let cancelled = cancel_adjacent_inverses(circuit);
+    let fused = fuse_adjacent_rotations(&cancelled);
+    flip_hadamard_cnot(&fused)
+}
+
+/// Fuses directly adjacent rotations of the same kind on the same wire and
+/// drops rotations that become multiples of 2π.
+fn fuse_adjacent_rotations(circuit: &Circuit) -> Circuit {
+    let instrs = circuit.instructions();
+    let n = instrs.len();
+    let preds = circuit.wire_predecessors();
+    // next instruction on the wire of a single-qubit gate
+    let mut next_single: Vec<Option<usize>> = vec![None; n];
+    for (i, ps) in preds.iter().enumerate() {
+        for p in ps.iter().flatten() {
+            if instrs[*p].gate.num_qubits() == 1 && instrs[i].qubits.contains(&instrs[*p].qubits[0]) {
+                next_single[*p] = Some(i);
+            }
+        }
+    }
+    let mut removed = vec![false; n];
+    let mut replacement: Vec<Option<Instruction>> = vec![None; n];
+    for i in 0..n {
+        if removed[i] {
+            continue;
+        }
+        let gate = instrs[i].gate;
+        if !matches!(gate, Gate::Rz | Gate::U1 | Gate::Rx | Gate::Ry) {
+            continue;
+        }
+        if let Some(j) = next_single[i] {
+            if !removed[j] && instrs[j].gate == gate && instrs[j].qubits == instrs[i].qubits {
+                let a = replacement[i].as_ref().map(|r| r.params[0].clone()).unwrap_or_else(|| instrs[i].params[0].clone());
+                let sum = a.add(&instrs[j].params[0]);
+                replacement[j] = Some(Instruction::new(gate, instrs[j].qubits.clone(), vec![sum]));
+                removed[i] = true;
+            }
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    for i in 0..n {
+        if removed[i] {
+            continue;
+        }
+        let instr = replacement[i].clone().unwrap_or_else(|| instrs[i].clone());
+        // Drop rotations that are exact multiples of 2π.
+        if matches!(instr.gate, Gate::Rz | Gate::U1)
+            && instr.params[0].is_constant()
+            && instr.params[0].const_pi4().rem_euclid(8) == 0
+        {
+            continue;
+        }
+        out.push(instr);
+    }
+    out
+}
+
+/// Rewrites H(a) H(b) · CNOT(a,b) · H(a) H(b) into CNOT(b,a) — the classic
+/// manual rule of Figure 3a — whenever the surrounding Hadamards are
+/// directly adjacent to the CNOT.
+fn flip_hadamard_cnot(circuit: &Circuit) -> Circuit {
+    let instrs = circuit.instructions();
+    let n = instrs.len();
+    let preds = circuit.wire_predecessors();
+    // successor per instruction per operand
+    let mut succs: Vec<Vec<Option<usize>>> = instrs
+        .iter()
+        .map(|i| vec![None; i.qubits.len()])
+        .collect();
+    for (i, ps) in preds.iter().enumerate() {
+        for (op, p) in ps.iter().enumerate() {
+            if let Some(pi) = p {
+                let q = instrs[i].qubits[op];
+                let p_op = instrs[*pi].qubits.iter().position(|&x| x == q).unwrap();
+                succs[*pi][p_op] = Some(i);
+            }
+        }
+    }
+    let is_h_on = |idx: usize, q: usize| instrs[idx].gate == Gate::H && instrs[idx].qubits == vec![q];
+
+    let mut removed = vec![false; n];
+    let mut replacement: Vec<Option<Instruction>> = vec![None; n];
+    for i in 0..n {
+        if removed[i] || instrs[i].gate != Gate::Cnot {
+            continue;
+        }
+        let (c, t) = (instrs[i].qubits[0], instrs[i].qubits[1]);
+        let before_c = preds[i][0];
+        let before_t = preds[i][1];
+        let after_c = succs[i][0];
+        let after_t = succs[i][1];
+        let (Some(bc), Some(bt), Some(ac), Some(at)) = (before_c, before_t, after_c, after_t) else {
+            continue;
+        };
+        if [bc, bt, ac, at].iter().any(|&x| removed[x]) {
+            continue;
+        }
+        if is_h_on(bc, c) && is_h_on(bt, t) && is_h_on(ac, c) && is_h_on(at, t) {
+            removed[bc] = true;
+            removed[bt] = true;
+            removed[ac] = true;
+            removed[at] = true;
+            replacement[i] = Some(Instruction::new(Gate::Cnot, vec![t, c], vec![]));
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    for i in 0..n {
+        if removed[i] {
+            continue;
+        }
+        out.push(replacement[i].clone().unwrap_or_else(|| instrs[i].clone()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_ir::{equivalent_up_to_phase, ParamExpr};
+
+    fn h(q: usize) -> Instruction {
+        Instruction::new(Gate::H, vec![q], vec![])
+    }
+
+    #[test]
+    fn greedy_cancels_and_fuses() {
+        let mut c = Circuit::new(2, 0);
+        c.push(h(0));
+        c.push(h(0));
+        c.push(Instruction::new(Gate::Rz, vec![1], vec![ParamExpr::constant_pi4(1)]));
+        c.push(Instruction::new(Gate::Rz, vec![1], vec![ParamExpr::constant_pi4(1)]));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        let (out, stats) = greedy_optimize(&c);
+        assert_eq!(out.gate_count(), 2);
+        assert_eq!(stats.gates_before, 5);
+        assert_eq!(stats.gates_after, 2);
+        assert!(equivalent_up_to_phase(&out, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn greedy_flips_hadamard_cnot_sandwich() {
+        let mut c = Circuit::new(2, 0);
+        c.push(h(0));
+        c.push(h(1));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        c.push(h(0));
+        c.push(h(1));
+        let (out, _) = greedy_optimize(&c);
+        assert_eq!(out.gate_count(), 1);
+        assert_eq!(out.instructions()[0].qubits, vec![1, 0]);
+        assert!(equivalent_up_to_phase(&out, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn greedy_is_idempotent() {
+        let mut c = Circuit::new(2, 0);
+        c.push(h(0));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        let (once, _) = greedy_optimize(&c);
+        let (twice, _) = greedy_optimize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn greedy_removes_full_rotations() {
+        let mut c = Circuit::new(1, 0);
+        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(5)]));
+        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(3)]));
+        let (out, _) = greedy_optimize(&c);
+        assert_eq!(out.gate_count(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Cost models for the optimizer's search (paper §6).
+//!
+//! The paper's evaluation uses total gate count; alternative metrics (CNOT
+//! count, T count, depth) are provided because the search algorithm is
+//! generic in the cost function (footnote 2 of the paper).
+
+use quartz_ir::{Circuit, Gate};
+use serde::{Deserialize, Serialize};
+
+/// A cost model mapping circuits to a non-negative cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Total number of gates (the metric used in the paper's evaluation).
+    GateCount,
+    /// Number of two-qubit (and larger) gates.
+    MultiQubitGateCount,
+    /// Number of T/T† gates.
+    TCount,
+    /// Circuit depth.
+    Depth,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::GateCount
+    }
+}
+
+impl CostModel {
+    /// The cost of a circuit under this model.
+    pub fn cost(&self, circuit: &Circuit) -> usize {
+        match self {
+            CostModel::GateCount => circuit.gate_count(),
+            CostModel::MultiQubitGateCount => circuit.multi_qubit_gate_count(),
+            CostModel::TCount => circuit.count_gate(Gate::T) + circuit.count_gate(Gate::Tdg),
+            CostModel::Depth => circuit.depth(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_ir::Instruction;
+
+    #[test]
+    fn cost_models_disagree_where_expected() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::new(Gate::T, vec![0], vec![]));
+        c.push(Instruction::new(Gate::T, vec![1], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        assert_eq!(CostModel::GateCount.cost(&c), 3);
+        assert_eq!(CostModel::MultiQubitGateCount.cost(&c), 1);
+        assert_eq!(CostModel::TCount.cost(&c), 2);
+        assert_eq!(CostModel::Depth.cost(&c), 2);
+        assert_eq!(CostModel::default(), CostModel::GateCount);
+    }
+}

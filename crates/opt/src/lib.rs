@@ -1,0 +1,49 @@
+//! # quartz-opt
+//!
+//! The circuit optimizer of the Quartz superoptimizer reproduction
+//! (paper §6 and §7.1): transformation extraction from ECC sets, convex
+//! subcircuit matching, the cost-based backtracking search of Algorithm 2,
+//! the preprocessing passes (Toffoli decomposition, rotation merging,
+//! gate-set transpilation), and a greedy rule-based baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use quartz_gen::{Generator, GenConfig};
+//! use quartz_ir::{Circuit, Gate, GateSet, Instruction};
+//! use quartz_opt::{preprocess_nam, Optimizer, SearchConfig};
+//! use std::time::Duration;
+//!
+//! // A Toffoli followed by its own inverse should optimize away almost
+//! // entirely: preprocessing decomposes and merges rotations, and the
+//! // search cancels what remains.
+//! let mut circuit = Circuit::new(3, 0);
+//! circuit.push(Instruction::new(Gate::Ccx, vec![0, 1, 2], vec![]));
+//! circuit.push(Instruction::new(Gate::Ccx, vec![0, 1, 2], vec![]));
+//! let preprocessed = preprocess_nam(&circuit);
+//!
+//! let (ecc_set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 0)).run();
+//! let optimizer = Optimizer::from_ecc_set(&ecc_set, SearchConfig::with_timeout(Duration::from_secs(2)));
+//! let result = optimizer.optimize(&preprocessed);
+//! assert!(result.best_cost < 30);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod baseline;
+mod cost;
+mod matcher;
+mod preprocess;
+mod search;
+mod xform;
+
+pub use baseline::{greedy_optimize, BaselineStats};
+pub use cost::CostModel;
+pub use matcher::{apply_all, apply_at, find_matches, Match};
+pub use preprocess::{
+    cancel_adjacent_inverses, clifford_t_to_nam, decompose_toffolis, merge_rotations, nam_to_ibm,
+    nam_to_rigetti, preprocess_ibm, preprocess_nam, preprocess_rigetti, toffoli_decomposition,
+};
+pub use search::{Optimizer, SearchConfig, SearchResult};
+pub use xform::{canonicalize, transformations_from_ecc_set, Transformation};

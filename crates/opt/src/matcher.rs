@@ -1,0 +1,525 @@
+//! Pattern matching of transformation targets against subcircuits, and the
+//! `Apply(C, T)` operation (paper §6).
+//!
+//! A match is an injective assignment of the pattern's instructions to
+//! instructions of the circuit that
+//!
+//! * preserves gate types,
+//! * maps pattern qubits to circuit qubits injectively and consistently,
+//! * binds the pattern's symbolic parameters to angle expressions of the
+//!   circuit consistently, and
+//! * corresponds to a *convex* subcircuit: on every wire the matched gates
+//!   are consecutive, and no dependency path leaves the matched set and
+//!   re-enters it (the graph-representation convexity of Figure 5).
+//!
+//! Applying a match removes the matched instructions and splices in the
+//! rewrite circuit with its qubits and parameters instantiated.
+
+use crate::xform::Transformation;
+use quartz_ir::{Circuit, Instruction, ParamExpr};
+use std::collections::HashSet;
+
+/// A successful match of a pattern against a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// For each pattern instruction (in pattern order), the index of the
+    /// matched circuit instruction.
+    pub instruction_map: Vec<usize>,
+    /// For each pattern qubit, the mapped circuit qubit (`None` if the
+    /// pattern never uses that qubit).
+    pub qubit_map: Vec<Option<usize>>,
+    /// For each pattern parameter, the bound circuit-side expression.
+    pub param_bindings: Vec<Option<ParamExpr>>,
+}
+
+/// Finds every match of `pattern` inside `circuit`.
+pub fn find_matches(circuit: &Circuit, pattern: &Circuit) -> Vec<Match> {
+    if pattern.is_empty() || pattern.gate_count() > circuit.gate_count() {
+        return Vec::new();
+    }
+    let state = MatchState::new(circuit, pattern);
+    state.search()
+}
+
+/// Applies a transformation at a specific match, producing the rewritten
+/// circuit, or `None` when the rewrite cannot be instantiated (for example
+/// because it uses a parameter the target never bound).
+pub fn apply_at(circuit: &Circuit, xform: &Transformation, m: &Match) -> Option<Circuit> {
+    let matched: HashSet<usize> = m.instruction_map.iter().copied().collect();
+    let (ancestors, descendants) = boundary_sets(circuit, &matched);
+
+    // Instantiate the rewrite's instructions.
+    let mut rewrite_instrs = Vec::with_capacity(xform.rewrite.gate_count());
+    for instr in xform.rewrite.instructions() {
+        let qubits: Option<Vec<usize>> = instr.qubits.iter().map(|&q| m.qubit_map.get(q).copied().flatten()).collect();
+        let qubits = qubits?;
+        let mut params = Vec::with_capacity(instr.params.len());
+        for p in &instr.params {
+            params.push(instantiate(p, &m.param_bindings, circuit.num_params())?);
+        }
+        rewrite_instrs.push(Instruction::new(instr.gate, qubits, params));
+    }
+
+    // Rebuild: unmatched non-descendants, then the rewrite, then unmatched
+    // descendants (see DESIGN.md §2.4). Convexity guarantees consistency.
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    for (i, instr) in circuit.instructions().iter().enumerate() {
+        if matched.contains(&i) || descendants.contains(&i) {
+            continue;
+        }
+        out.push(instr.clone());
+    }
+    for instr in rewrite_instrs {
+        out.push(instr);
+    }
+    for (i, instr) in circuit.instructions().iter().enumerate() {
+        if matched.contains(&i) || !descendants.contains(&i) {
+            continue;
+        }
+        out.push(instr.clone());
+    }
+    let _ = ancestors;
+    Some(out)
+}
+
+/// Computes `Apply(C, T)`: every circuit obtainable by applying the
+/// transformation at some match (paper §6).
+pub fn apply_all(circuit: &Circuit, xform: &Transformation) -> Vec<Circuit> {
+    find_matches(circuit, &xform.target)
+        .iter()
+        .filter_map(|m| apply_at(circuit, xform, m))
+        .collect()
+}
+
+/// Substitutes parameter bindings into a pattern-side expression.
+fn instantiate(
+    expr: &ParamExpr,
+    bindings: &[Option<ParamExpr>],
+    circuit_num_params: usize,
+) -> Option<ParamExpr> {
+    let mut acc = ParamExpr::constant_pi4_with_params(expr.const_pi4(), circuit_num_params);
+    for (i, &k) in expr.coeffs().iter().enumerate() {
+        if k == 0 {
+            continue;
+        }
+        let bound = bindings.get(i)?.as_ref()?;
+        acc = acc.add(&bound.scale(k));
+    }
+    Some(acc)
+}
+
+/// Ancestors and descendants (outside the matched set) of the matched set in
+/// the circuit's wire-dependency DAG.
+fn boundary_sets(circuit: &Circuit, matched: &HashSet<usize>) -> (HashSet<usize>, HashSet<usize>) {
+    let n = circuit.gate_count();
+    let preds = circuit.wire_predecessors();
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for p in ps.iter().flatten() {
+            successors[*p].push(i);
+            predecessors[i].push(*p);
+        }
+    }
+    // Descendants: forward closure from the matched set over external nodes.
+    let mut descendants = HashSet::new();
+    let mut stack: Vec<usize> = matched.iter().copied().collect();
+    while let Some(u) = stack.pop() {
+        for &v in &successors[u] {
+            if !matched.contains(&v) && descendants.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    // Ancestors: backward closure from the matched set over external nodes.
+    let mut ancestors = HashSet::new();
+    let mut stack: Vec<usize> = matched.iter().copied().collect();
+    while let Some(u) = stack.pop() {
+        for &v in &predecessors[u] {
+            if !matched.contains(&v) && ancestors.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    (ancestors, descendants)
+}
+
+/// Returns `true` when the matched set is convex: no external instruction is
+/// both an ancestor and a descendant of the matched set.
+fn is_convex(circuit: &Circuit, matched: &HashSet<usize>) -> bool {
+    let (ancestors, descendants) = boundary_sets(circuit, matched);
+    ancestors.intersection(&descendants).next().is_none()
+}
+
+struct MatchState<'a> {
+    circuit: &'a Circuit,
+    pattern: &'a Circuit,
+    /// Wire predecessors of the circuit and the pattern.
+    circuit_preds: Vec<Vec<Option<usize>>>,
+    pattern_preds: Vec<Vec<Option<usize>>>,
+    /// Wire successors of each circuit instruction (used to narrow the
+    /// candidate set once part of the pattern is matched).
+    circuit_succs: Vec<Vec<usize>>,
+}
+
+impl<'a> MatchState<'a> {
+    fn new(circuit: &'a Circuit, pattern: &'a Circuit) -> Self {
+        let circuit_preds = circuit.wire_predecessors();
+        let mut circuit_succs: Vec<Vec<usize>> = vec![Vec::new(); circuit.gate_count()];
+        for (i, ps) in circuit_preds.iter().enumerate() {
+            for p in ps.iter().flatten() {
+                if circuit_succs[*p].last() != Some(&i) {
+                    circuit_succs[*p].push(i);
+                }
+            }
+        }
+        MatchState {
+            circuit,
+            pattern,
+            circuit_preds,
+            pattern_preds: pattern.wire_predecessors(),
+            circuit_succs,
+        }
+    }
+
+    /// Candidate circuit instructions for the pattern instruction at `depth`:
+    /// when the pattern instruction depends on an already-matched one, only
+    /// the wire successors of that matched instruction can possibly satisfy
+    /// the wire-order constraint, so the search is narrowed to them.
+    fn candidates(&self, depth: usize, instruction_map: &[usize]) -> Vec<usize> {
+        for pred in self.pattern_preds[depth].iter().flatten() {
+            if *pred < instruction_map.len() {
+                return self.circuit_succs[instruction_map[*pred]].clone();
+            }
+        }
+        (0..self.circuit.gate_count()).collect()
+    }
+
+    fn search(&self) -> Vec<Match> {
+        let mut results = Vec::new();
+        let mut instruction_map: Vec<usize> = Vec::new();
+        let mut qubit_map: Vec<Option<usize>> = vec![None; self.pattern.num_qubits()];
+        let mut used_circuit_qubits: HashSet<usize> = HashSet::new();
+        let mut param_bindings: Vec<Option<ParamExpr>> = vec![None; self.pattern.num_params()];
+        self.extend(
+            &mut instruction_map,
+            &mut qubit_map,
+            &mut used_circuit_qubits,
+            &mut param_bindings,
+            &mut results,
+        );
+        results
+    }
+
+    fn extend(
+        &self,
+        instruction_map: &mut Vec<usize>,
+        qubit_map: &mut Vec<Option<usize>>,
+        used_circuit_qubits: &mut HashSet<usize>,
+        param_bindings: &mut Vec<Option<ParamExpr>>,
+        results: &mut Vec<Match>,
+    ) {
+        let depth = instruction_map.len();
+        if depth == self.pattern.gate_count() {
+            let matched: HashSet<usize> = instruction_map.iter().copied().collect();
+            if is_convex(self.circuit, &matched) {
+                results.push(Match {
+                    instruction_map: instruction_map.clone(),
+                    qubit_map: qubit_map.clone(),
+                    param_bindings: param_bindings.clone(),
+                });
+            }
+            return;
+        }
+        let pattern_instr = &self.pattern.instructions()[depth];
+        'candidates: for ci in self.candidates(depth, instruction_map) {
+            let circuit_instr = &self.circuit.instructions()[ci];
+            if circuit_instr.gate != pattern_instr.gate {
+                continue;
+            }
+            if instruction_map.contains(&ci) {
+                continue;
+            }
+            // Save state for backtracking.
+            let saved_qubit_map = qubit_map.clone();
+            let saved_used = used_circuit_qubits.clone();
+            let saved_bindings = param_bindings.clone();
+
+            // Qubit consistency.
+            for (op, &pq) in pattern_instr.qubits.iter().enumerate() {
+                let cq = circuit_instr.qubits[op];
+                match qubit_map[pq] {
+                    Some(existing) if existing != cq => {
+                        *qubit_map = saved_qubit_map;
+                        *used_circuit_qubits = saved_used;
+                        *param_bindings = saved_bindings;
+                        continue 'candidates;
+                    }
+                    Some(_) => {}
+                    None => {
+                        if used_circuit_qubits.contains(&cq) {
+                            *qubit_map = saved_qubit_map;
+                            *used_circuit_qubits = saved_used;
+                            *param_bindings = saved_bindings;
+                            continue 'candidates;
+                        }
+                        qubit_map[pq] = Some(cq);
+                        used_circuit_qubits.insert(cq);
+                    }
+                }
+            }
+
+            // Wire-order consistency: the circuit predecessor of this
+            // instruction on each shared wire must be exactly the match of
+            // the pattern predecessor (or an instruction outside the match
+            // when the pattern wire starts here).
+            for (op, pred) in self.pattern_preds[depth].iter().enumerate() {
+                let circuit_pred = self.circuit_preds[ci][op];
+                match pred {
+                    Some(pattern_pred_idx) => {
+                        let expected = instruction_map[*pattern_pred_idx];
+                        // The pattern predecessor's operand position may
+                        // differ; compare instruction indices only.
+                        if circuit_pred != Some(expected) {
+                            *qubit_map = saved_qubit_map;
+                            *used_circuit_qubits = saved_used;
+                            *param_bindings = saved_bindings;
+                            continue 'candidates;
+                        }
+                    }
+                    None => {
+                        // The wire enters the pattern here: the circuit-side
+                        // predecessor (if any) must not be a matched
+                        // instruction, otherwise the matched gates would not
+                        // be consecutive on the wire.
+                        if let Some(cp) = circuit_pred {
+                            if instruction_map.contains(&cp) {
+                                *qubit_map = saved_qubit_map;
+                                *used_circuit_qubits = saved_used;
+                                *param_bindings = saved_bindings;
+                                continue 'candidates;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Parameter binding.
+            let mut ok = true;
+            for (p_expr, c_expr) in pattern_instr.params.iter().zip(circuit_instr.params.iter()) {
+                if !bind_params(p_expr, c_expr, param_bindings, self.circuit.num_params()) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                *qubit_map = saved_qubit_map;
+                *used_circuit_qubits = saved_used;
+                *param_bindings = saved_bindings;
+                continue 'candidates;
+            }
+
+            instruction_map.push(ci);
+            self.extend(instruction_map, qubit_map, used_circuit_qubits, param_bindings, results);
+            instruction_map.pop();
+            *qubit_map = saved_qubit_map;
+            *used_circuit_qubits = saved_used;
+            *param_bindings = saved_bindings;
+        }
+    }
+}
+
+/// Attempts to bind the pattern expression to the circuit expression,
+/// updating `bindings`. Supports expressions with at most one unbound
+/// parameter (which covers the paper's Σ: pᵢ, 2pᵢ, pᵢ+pⱼ).
+fn bind_params(
+    pattern_expr: &ParamExpr,
+    circuit_expr: &ParamExpr,
+    bindings: &mut [Option<ParamExpr>],
+    circuit_num_params: usize,
+) -> bool {
+    // residual = circuit_expr − (const + Σ_bound k_i·binding_i)
+    let mut residual = circuit_expr.sub(&ParamExpr::constant_pi4_with_params(
+        pattern_expr.const_pi4(),
+        circuit_num_params,
+    ));
+    let mut unbound: Vec<(usize, i32)> = Vec::new();
+    for (i, &k) in pattern_expr.coeffs().iter().enumerate() {
+        if k == 0 {
+            continue;
+        }
+        match &bindings[i] {
+            Some(b) => residual = residual.sub(&b.scale(k)),
+            None => unbound.push((i, k)),
+        }
+    }
+    match unbound.len() {
+        0 => residual.is_zero(),
+        1 => {
+            let (idx, k) = unbound[0];
+            match residual.div_exact(k) {
+                Some(value) => {
+                    bindings[idx] = Some(value);
+                    true
+                }
+                None => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xform::instruction;
+    use quartz_ir::{equivalent_up_to_phase, Gate};
+
+    fn h(q: usize) -> Instruction {
+        instruction(Gate::H, &[q])
+    }
+
+    fn hh_to_empty() -> Transformation {
+        let mut hh = Circuit::new(1, 0);
+        hh.push(h(0));
+        hh.push(h(0));
+        Transformation { target: hh, rewrite: Circuit::new(1, 0) }
+    }
+
+    #[test]
+    fn match_two_adjacent_hadamards() {
+        let mut c = Circuit::new(2, 0);
+        c.push(h(0));
+        c.push(h(0));
+        c.push(h(1));
+        let t = hh_to_empty();
+        let matches = find_matches(&c, &t.target);
+        assert_eq!(matches.len(), 1);
+        let rewritten = apply_at(&c, &t, &matches[0]).unwrap();
+        assert_eq!(rewritten.gate_count(), 1);
+        assert!(equivalent_up_to_phase(&rewritten, &c, &[], 1e-10));
+    }
+
+    #[test]
+    fn no_match_when_gate_in_between() {
+        // H X H on the same qubit: the two H's are not adjacent on the wire.
+        let mut c = Circuit::new(1, 0);
+        c.push(h(0));
+        c.push(instruction(Gate::X, &[0]));
+        c.push(h(0));
+        let t = hh_to_empty();
+        assert!(find_matches(&c, &t.target).is_empty());
+    }
+
+    #[test]
+    fn match_respects_qubit_injectivity() {
+        // Pattern CNOT(0,1) CNOT(0,1) must not match CNOT(0,1) CNOT(0,2).
+        let mut pattern = Circuit::new(2, 0);
+        pattern.push(instruction(Gate::Cnot, &[0, 1]));
+        pattern.push(instruction(Gate::Cnot, &[0, 1]));
+        let mut c = Circuit::new(3, 0);
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(instruction(Gate::Cnot, &[0, 2]));
+        assert!(find_matches(&c, &pattern).is_empty());
+        let mut c2 = Circuit::new(3, 0);
+        c2.push(instruction(Gate::Cnot, &[0, 1]));
+        c2.push(instruction(Gate::Cnot, &[0, 1]));
+        assert_eq!(find_matches(&c2, &pattern).len(), 1);
+    }
+
+    #[test]
+    fn convexity_rejects_interleaved_dependencies() {
+        // Pattern: CNOT(0,1); CNOT(0,1) — matching the outer pair in
+        // CNOT(0,1); H(1); CNOT(0,1) is rejected: the H sits on a path
+        // between them.
+        let mut pattern = Circuit::new(2, 0);
+        pattern.push(instruction(Gate::Cnot, &[0, 1]));
+        pattern.push(instruction(Gate::Cnot, &[0, 1]));
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(h(1));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        assert!(find_matches(&c, &pattern).is_empty());
+    }
+
+    #[test]
+    fn parametric_pattern_binds_concrete_angles() {
+        // Pattern: Rz(p0) Rz(p1) → Rz(p0+p1). Circuit: Rz(π/4) Rz(π/2).
+        let m = 2;
+        let mut target = Circuit::new(1, m);
+        target.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, m)]));
+        target.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(1, m)]));
+        let mut rewrite = Circuit::new(1, m);
+        rewrite.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::sum_vars(0, 1, m)]));
+        let xform = Transformation { target, rewrite };
+
+        let mut c = Circuit::new(1, 0);
+        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(1)]));
+        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(2)]));
+        let outs = apply_all(&c, &xform);
+        assert!(!outs.is_empty());
+        let merged = &outs[0];
+        assert_eq!(merged.gate_count(), 1);
+        assert_eq!(merged.instructions()[0].params[0].const_pi4(), 3);
+    }
+
+    #[test]
+    fn pattern_with_scaled_parameter_requires_divisibility() {
+        // Pattern Rz(2·p0) only matches even multiples of π/4.
+        let m = 1;
+        let mut target = Circuit::new(1, m);
+        target.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::scaled_var(0, 2, m)]));
+        let rewrite = target.clone();
+        let xform = Transformation { target, rewrite };
+        let mut even = Circuit::new(1, 0);
+        even.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(2)]));
+        assert_eq!(find_matches(&even, &xform.target).len(), 1);
+        let mut odd = Circuit::new(1, 0);
+        odd.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(1)]));
+        assert!(find_matches(&odd, &xform.target).is_empty());
+    }
+
+    #[test]
+    fn apply_preserves_semantics_on_cnot_flip() {
+        // Transformation from Figure 3c: H H on both qubits around a CNOT
+        // flips its direction.
+        let mut target = Circuit::new(2, 0);
+        target.push(h(0));
+        target.push(h(1));
+        target.push(instruction(Gate::Cnot, &[0, 1]));
+        target.push(h(0));
+        target.push(h(1));
+        let mut rewrite = Circuit::new(2, 0);
+        rewrite.push(instruction(Gate::Cnot, &[1, 0]));
+        let xform = Transformation { target, rewrite };
+
+        let mut c = Circuit::new(3, 0);
+        c.push(instruction(Gate::X, &[2]));
+        c.push(h(0));
+        c.push(h(1));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(h(0));
+        c.push(h(1));
+        c.push(instruction(Gate::T, &[2]));
+
+        let outs = apply_all(&c, &xform);
+        assert_eq!(outs.len(), 1);
+        let out = &outs[0];
+        assert_eq!(out.gate_count(), 3);
+        assert!(equivalent_up_to_phase(out, &c, &[], 1e-10));
+    }
+
+    #[test]
+    fn matches_middle_of_larger_circuit_preserving_order() {
+        let t = hh_to_empty();
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::T, &[0]));
+        c.push(h(0));
+        c.push(h(0));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        let outs = apply_all(&c, &t);
+        assert_eq!(outs.len(), 1);
+        assert!(equivalent_up_to_phase(&outs[0], &c, &[], 1e-10));
+        assert_eq!(outs[0].gate_count(), 2);
+    }
+}

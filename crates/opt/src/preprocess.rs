@@ -1,0 +1,558 @@
+//! Preprocessing passes (paper §7.1): Toffoli decomposition with greedy
+//! polarity selection, rotation merging, and transpilation between the
+//! Clifford+T input format and the Nam / IBM / Rigetti gate sets.
+
+use quartz_ir::{Circuit, Gate, Instruction, ParamExpr};
+use std::collections::HashMap;
+
+/// Converts Clifford+T gates to the Nam gate set {H, X, Rz, CNOT}:
+/// T/T†/S/S†/Z become Rz rotations (up to global phase), Y becomes X·Rz(π),
+/// CZ becomes H·CNOT·H, and Toffoli-family gates are left for
+/// [`decompose_toffolis`].
+pub fn clifford_t_to_nam(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    for instr in circuit.instructions() {
+        match instr.gate {
+            Gate::T => out.push(rz_const(instr.qubits[0], 1)),
+            Gate::Tdg => out.push(rz_const(instr.qubits[0], -1)),
+            Gate::S => out.push(rz_const(instr.qubits[0], 2)),
+            Gate::Sdg => out.push(rz_const(instr.qubits[0], -2)),
+            Gate::Z => out.push(rz_const(instr.qubits[0], 4)),
+            Gate::U1 => out.push(Instruction::new(Gate::Rz, instr.qubits.clone(), instr.params.clone())),
+            Gate::Y => {
+                out.push(rz_const(instr.qubits[0], 4));
+                out.push(Instruction::new(Gate::X, instr.qubits.clone(), vec![]));
+            }
+            Gate::Cz => {
+                let (c, t) = (instr.qubits[0], instr.qubits[1]);
+                out.push(Instruction::new(Gate::H, vec![t], vec![]));
+                out.push(Instruction::new(Gate::Cnot, vec![c, t], vec![]));
+                out.push(Instruction::new(Gate::H, vec![t], vec![]));
+            }
+            Gate::Swap => {
+                let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                out.push(Instruction::new(Gate::Cnot, vec![a, b], vec![]));
+                out.push(Instruction::new(Gate::Cnot, vec![b, a], vec![]));
+                out.push(Instruction::new(Gate::Cnot, vec![a, b], vec![]));
+            }
+            _ => out.push(instr.clone()),
+        }
+    }
+    out
+}
+
+fn rz_const(qubit: usize, quarter_pi: i32) -> Instruction {
+    Instruction::new(Gate::Rz, vec![qubit], vec![ParamExpr::constant_pi4(quarter_pi)])
+}
+
+/// The standard 15-gate Clifford+T decomposition of a Toffoli gate, emitted
+/// directly over the Nam gate set (T → Rz(π/4)). `invert` selects the
+/// polarity: when `true` all T/T† rotations are conjugated, which is also a
+/// valid decomposition (of the same unitary) and interacts differently with
+/// rotation merging (paper §7.1).
+pub fn toffoli_decomposition(c0: usize, c1: usize, target: usize, invert: bool) -> Vec<Instruction> {
+    let sign = |positive: bool| if positive ^ invert { 1 } else { -1 };
+    vec![
+        Instruction::new(Gate::H, vec![target], vec![]),
+        Instruction::new(Gate::Cnot, vec![c1, target], vec![]),
+        rz_const(target, sign(false)),
+        Instruction::new(Gate::Cnot, vec![c0, target], vec![]),
+        rz_const(target, sign(true)),
+        Instruction::new(Gate::Cnot, vec![c1, target], vec![]),
+        rz_const(target, sign(false)),
+        Instruction::new(Gate::Cnot, vec![c0, target], vec![]),
+        rz_const(c1, sign(true)),
+        rz_const(target, sign(true)),
+        Instruction::new(Gate::Cnot, vec![c0, c1], vec![]),
+        Instruction::new(Gate::H, vec![target], vec![]),
+        rz_const(c0, sign(true)),
+        rz_const(c1, sign(false)),
+        Instruction::new(Gate::Cnot, vec![c0, c1], vec![]),
+    ]
+}
+
+/// Decomposes every CCX/CCZ gate into the Nam gate set, choosing the
+/// polarity of each decomposition greedily: both polarities are tried and
+/// the one that leads to fewer gates after rotation merging is kept
+/// (paper §7.1).
+pub fn decompose_toffolis(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    for instr in circuit.instructions() {
+        match instr.gate {
+            Gate::Ccx | Gate::Ccz => {
+                let (c0, c1) = (instr.qubits[0], instr.qubits[1]);
+                let t = instr.qubits[2];
+                let mut candidates = Vec::new();
+                for invert in [false, true] {
+                    let mut candidate = out.clone();
+                    if instr.gate == Gate::Ccz {
+                        // CCZ = H(t) · CCX · H(t)
+                        candidate.push(Instruction::new(Gate::H, vec![t], vec![]));
+                    }
+                    for g in toffoli_decomposition(c0, c1, t, invert) {
+                        candidate.push(g);
+                    }
+                    if instr.gate == Gate::Ccz {
+                        candidate.push(Instruction::new(Gate::H, vec![t], vec![]));
+                    }
+                    let merged_len = merge_rotations(&candidate).gate_count();
+                    candidates.push((merged_len, candidate));
+                }
+                candidates.sort_by_key(|(len, _)| *len);
+                out = candidates.into_iter().next().expect("two candidates").1;
+            }
+            _ => out.push(instr.clone()),
+        }
+    }
+    out
+}
+
+/// Rotation merging (paper §7.1, after Nam et al.): within regions of
+/// {CNOT, X, Rz} gates, tracks the affine function of the circuit inputs
+/// carried by every wire and merges Rz rotations applied to the same
+/// function. A Hadamard (or any other gate) resets the tracking for the
+/// wires it touches.
+pub fn merge_rotations(circuit: &Circuit) -> Circuit {
+    let nq = circuit.num_qubits();
+    // Each wire carries an affine function: a set of "variables" (original or
+    // fresh) xor'd together, plus a complement bit. Variables are identified
+    // by integers; 0..nq are the circuit inputs.
+    let mut next_var = nq;
+    let mut parity: Vec<Vec<usize>> = (0..nq).map(|q| vec![q]).collect();
+    let mut complement: Vec<bool> = vec![false; nq];
+
+    // For each parity function: the index (into `kept`) of the Rz that
+    // accumulates rotations on it, whether the wire was complemented at that
+    // position, and the accumulated angle normalized to the un-complemented
+    // parity (in units of π/4).
+    let mut merge_target: HashMap<Vec<usize>, (usize, bool, i32)> = HashMap::new();
+    // Output instructions with accumulated Rz angles; None marks dropped.
+    let mut kept: Vec<Option<Instruction>> = Vec::new();
+
+    for instr in circuit.instructions() {
+        match instr.gate {
+            Gate::Cnot => {
+                let (c, t) = (instr.qubits[0], instr.qubits[1]);
+                let combined = xor_parity(&parity[c], &parity[t]);
+                parity[t] = combined;
+                complement[t] ^= complement[c];
+                kept.push(Some(instr.clone()));
+            }
+            Gate::X => {
+                let t = instr.qubits[0];
+                complement[t] = !complement[t];
+                kept.push(Some(instr.clone()));
+            }
+            Gate::Rz | Gate::U1 if instr.params[0].is_constant() => {
+                let q = instr.qubits[0];
+                let key = parity[q].clone();
+                let quarter = instr.params[0].const_pi4();
+                // A rotation on the complemented value equals (up to global
+                // phase) the opposite rotation on the value itself, so the
+                // accumulator is kept in the un-complemented frame ...
+                let effective = if complement[q] { -quarter } else { quarter };
+                match merge_target.get_mut(&key) {
+                    Some((idx, rep_complement, accum)) => {
+                        *accum += effective;
+                        // ... but the gate emitted at the representative's
+                        // position must be expressed in that position's own
+                        // wire frame.
+                        let emitted = if *rep_complement { -*accum } else { *accum };
+                        let existing = kept[*idx].as_mut().expect("merge target still present");
+                        existing.params[0] = ParamExpr::constant_pi4(emitted);
+                        kept.push(None);
+                    }
+                    None => {
+                        let stored = Instruction::new(
+                            instr.gate,
+                            vec![q],
+                            vec![ParamExpr::constant_pi4(quarter)],
+                        );
+                        merge_target.insert(key, (kept.len(), complement[q], effective));
+                        kept.push(Some(stored));
+                    }
+                }
+            }
+            _ => {
+                // Any other gate ends the region on the wires it touches.
+                for &q in &instr.qubits {
+                    parity[q] = vec![next_var];
+                    next_var += 1;
+                    complement[q] = false;
+                }
+                kept.push(Some(instr.clone()));
+            }
+        }
+    }
+
+    let mut out = Circuit::new(nq, circuit.num_params());
+    for instr in kept.into_iter().flatten() {
+        if matches!(instr.gate, Gate::Rz | Gate::U1)
+            && instr.params[0].is_constant()
+            && instr.params[0].const_pi4().rem_euclid(8) == 0
+        {
+            // A rotation by a multiple of 2π is the identity (up to phase).
+            continue;
+        }
+        out.push(instr);
+    }
+    out
+}
+
+fn xor_parity(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::with_capacity(a.len() + b.len());
+    let mut ai = 0;
+    let mut bi = 0;
+    let mut a_sorted = a.to_vec();
+    let mut b_sorted = b.to_vec();
+    a_sorted.sort_unstable();
+    b_sorted.sort_unstable();
+    while ai < a_sorted.len() || bi < b_sorted.len() {
+        match (a_sorted.get(ai), b_sorted.get(bi)) {
+            (Some(&x), Some(&y)) if x == y => {
+                ai += 1;
+                bi += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                ai += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                bi += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                ai += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                bi += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Cancels adjacent pairs of mutually inverse gates on the same operands and
+/// removes zero-angle rotations, repeating until a fixpoint. Used during
+/// transpilation and by the greedy baseline.
+pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    loop {
+        let preds = current.wire_predecessors();
+        let n = current.gate_count();
+        // successor count per instruction is implicit; recompute a simple
+        // "next on each wire" table.
+        let mut next_on_wire: Vec<Vec<Option<usize>>> = vec![Vec::new(); n];
+        for (i, instr) in current.instructions().iter().enumerate() {
+            next_on_wire[i] = vec![None; instr.qubits.len()];
+        }
+        for (i, ps) in preds.iter().enumerate() {
+            for (op, p) in ps.iter().enumerate() {
+                if let Some(pi) = p {
+                    let q = current.instructions()[i].qubits[op];
+                    let p_op = current.instructions()[*pi].qubits.iter().position(|&x| x == q).unwrap();
+                    next_on_wire[*pi][p_op] = Some(i);
+                }
+            }
+        }
+        let instrs = current.instructions();
+        let mut removed = vec![false; n];
+        for i in 0..n {
+            if removed[i] {
+                continue;
+            }
+            let instr = &instrs[i];
+            // Zero rotations vanish immediately.
+            if matches!(instr.gate, Gate::Rz | Gate::U1 | Gate::Rx | Gate::Ry)
+                && instr.params[0].is_zero()
+            {
+                removed[i] = true;
+                continue;
+            }
+            let inverse = match instr.gate.fixed_inverse() {
+                Some(g) => g,
+                None => continue,
+            };
+            // The candidate partner must directly follow on every wire.
+            let followers: Vec<Option<usize>> = next_on_wire[i].clone();
+            let Some(Some(j)) = followers.first().copied() else { continue };
+            if removed[j] {
+                continue;
+            }
+            if followers.iter().any(|f| *f != Some(j)) {
+                continue;
+            }
+            let partner = &instrs[j];
+            if partner.gate == inverse && partner.qubits == instr.qubits {
+                removed[i] = true;
+                removed[j] = true;
+            }
+        }
+        if removed.iter().all(|&r| !r) {
+            return current;
+        }
+        let mut next = Circuit::new(current.num_qubits(), current.num_params());
+        for (i, instr) in current.instructions().iter().enumerate() {
+            if !removed[i] {
+                next.push(instr.clone());
+            }
+        }
+        current = next;
+    }
+}
+
+/// The full Nam-gate-set preprocessing pipeline (paper §7.1): transpile
+/// Clifford+T input to Nam, decompose Toffolis with greedy polarity, then
+/// merge rotations.
+pub fn preprocess_nam(circuit: &Circuit) -> Circuit {
+    let nam = clifford_t_to_nam(circuit);
+    let decomposed = decompose_toffolis(&nam);
+    let merged = merge_rotations(&decomposed);
+    cancel_adjacent_inverses(&merged)
+}
+
+/// Transpiles a Nam-gate-set circuit to the IBM gate set
+/// {U1, U2, U3, CNOT}: H → U2(0, π), X → U3(π, 0, π), Rz(θ) → U1(θ).
+pub fn nam_to_ibm(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    for instr in circuit.instructions() {
+        match instr.gate {
+            Gate::H => out.push(Instruction::new(
+                Gate::U2,
+                instr.qubits.clone(),
+                vec![ParamExpr::constant_pi4(0), ParamExpr::constant_pi4(4)],
+            )),
+            Gate::X => out.push(Instruction::new(
+                Gate::U3,
+                instr.qubits.clone(),
+                vec![
+                    ParamExpr::constant_pi4(4),
+                    ParamExpr::constant_pi4(0),
+                    ParamExpr::constant_pi4(4),
+                ],
+            )),
+            Gate::Rz => out.push(Instruction::new(Gate::U1, instr.qubits.clone(), instr.params.clone())),
+            _ => out.push(instr.clone()),
+        }
+    }
+    out
+}
+
+/// The IBM preprocessing pipeline: Nam preprocessing followed by
+/// transpilation to {U1, U2, U3, CNOT}.
+pub fn preprocess_ibm(circuit: &Circuit) -> Circuit {
+    nam_to_ibm(&preprocess_nam(circuit))
+}
+
+/// Transpiles a Nam-gate-set circuit to the Rigetti gate set
+/// {Rx(±π/2), Rx(π), Rz, CZ} (paper §7.1): every CNOT becomes H·CZ·H,
+/// adjacent H and CZ pairs introduced by that step are cancelled, X becomes
+/// Rx(π), and every remaining H becomes Rz(π/2)·Rx(π/2)·Rz(π/2) (equal to H
+/// up to a global phase).
+pub fn nam_to_rigetti(circuit: &Circuit) -> Circuit {
+    // Step 1: CNOT → H CZ H.
+    let mut step1 = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    for instr in circuit.instructions() {
+        match instr.gate {
+            Gate::Cnot => {
+                let (c, t) = (instr.qubits[0], instr.qubits[1]);
+                step1.push(Instruction::new(Gate::H, vec![t], vec![]));
+                step1.push(Instruction::new(Gate::Cz, vec![c, t], vec![]));
+                step1.push(Instruction::new(Gate::H, vec![t], vec![]));
+            }
+            _ => step1.push(instr.clone()),
+        }
+    }
+    // Step 2: cancel the adjacent H/CZ pairs this introduces.
+    let step2 = cancel_adjacent_inverses(&step1);
+    // Step 3: map to the native Rigetti gates.
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    for instr in step2.instructions() {
+        match instr.gate {
+            Gate::X => out.push(Instruction::new(Gate::Rx180, instr.qubits.clone(), vec![])),
+            Gate::H => {
+                let q = instr.qubits[0];
+                out.push(rz_const(q, 2));
+                out.push(Instruction::new(Gate::Rx90, vec![q], vec![]));
+                out.push(rz_const(q, 2));
+            }
+            _ => out.push(instr.clone()),
+        }
+    }
+    out
+}
+
+/// The Rigetti preprocessing pipeline (paper §7.1): Nam preprocessing, then
+/// transpilation to the Rigetti gate set.
+pub fn preprocess_rigetti(circuit: &Circuit) -> Circuit {
+    nam_to_rigetti(&preprocess_nam(circuit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_ir::{equivalent_up_to_phase, GateSet};
+
+    fn ccx_circuit() -> Circuit {
+        let mut c = Circuit::new(3, 0);
+        c.push(Instruction::new(Gate::Ccx, vec![0, 1, 2], vec![]));
+        c
+    }
+
+    #[test]
+    fn toffoli_decomposition_is_correct_both_polarities() {
+        for invert in [false, true] {
+            let mut decomposed = Circuit::new(3, 0);
+            for g in toffoli_decomposition(0, 1, 2, invert) {
+                decomposed.push(g);
+            }
+            assert!(
+                equivalent_up_to_phase(&decomposed, &ccx_circuit(), &[], 1e-9),
+                "polarity invert={invert}"
+            );
+            assert_eq!(decomposed.gate_count(), 15);
+        }
+    }
+
+    #[test]
+    fn clifford_t_to_nam_preserves_semantics() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::new(Gate::T, vec![0], vec![]));
+        c.push(Instruction::new(Gate::H, vec![1], vec![]));
+        c.push(Instruction::new(Gate::Sdg, vec![1], vec![]));
+        c.push(Instruction::new(Gate::Cz, vec![0, 1], vec![]));
+        c.push(Instruction::new(Gate::Tdg, vec![0], vec![]));
+        let nam = clifford_t_to_nam(&c);
+        assert!(GateSet::nam().supports_circuit(&nam));
+        assert!(equivalent_up_to_phase(&nam, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn decompose_toffolis_preserves_semantics() {
+        let mut c = Circuit::new(3, 0);
+        c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        c.push(Instruction::new(Gate::Ccx, vec![0, 1, 2], vec![]));
+        c.push(Instruction::new(Gate::Ccz, vec![2, 1, 0], vec![]));
+        let out = decompose_toffolis(&clifford_t_to_nam(&c));
+        assert!(GateSet::nam().supports_circuit(&out));
+        assert!(equivalent_up_to_phase(&out, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn rotation_merging_merges_t_pairs_across_cnots() {
+        // T(0) CNOT(1,0) ... CNOT(1,0) T(0): the two CNOTs restore the parity
+        // of qubit 0, so the two T rotations merge into a single S rotation.
+        let mut c = Circuit::new(2, 0);
+        c.push(rz_const(0, 1));
+        c.push(Instruction::new(Gate::Cnot, vec![1, 0], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![1, 0], vec![]));
+        c.push(rz_const(0, 1));
+        let merged = merge_rotations(&c);
+        assert_eq!(merged.count_gate(Gate::Rz), 1);
+        assert_eq!(merged.instructions().iter().find(|i| i.gate == Gate::Rz).unwrap().params[0].const_pi4(), 2);
+        assert!(equivalent_up_to_phase(&merged, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn rotation_merging_does_not_merge_across_hadamard() {
+        let mut c = Circuit::new(1, 0);
+        c.push(rz_const(0, 1));
+        c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        c.push(rz_const(0, 1));
+        let merged = merge_rotations(&c);
+        assert_eq!(merged.count_gate(Gate::Rz), 2);
+        assert!(equivalent_up_to_phase(&merged, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn rotation_merging_cancels_opposite_rotations() {
+        let mut c = Circuit::new(1, 0);
+        c.push(rz_const(0, 3));
+        c.push(rz_const(0, -3));
+        let merged = merge_rotations(&c);
+        assert_eq!(merged.gate_count(), 0);
+    }
+
+    #[test]
+    fn rotation_merging_handles_x_conjugation() {
+        // Rz(θ) X Rz(θ) X: the second rotation acts on the complemented wire,
+        // so it merges as −θ and the rotations cancel (up to phase).
+        let mut c = Circuit::new(1, 0);
+        c.push(rz_const(0, 2));
+        c.push(Instruction::new(Gate::X, vec![0], vec![]));
+        c.push(rz_const(0, 2));
+        c.push(Instruction::new(Gate::X, vec![0], vec![]));
+        let merged = merge_rotations(&c);
+        assert_eq!(merged.count_gate(Gate::Rz), 0);
+        assert!(equivalent_up_to_phase(&merged, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn cancel_adjacent_inverses_removes_pairs() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        c.push(Instruction::new(Gate::S, vec![1], vec![]));
+        c.push(Instruction::new(Gate::Sdg, vec![1], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        c.push(Instruction::new(Gate::T, vec![0], vec![]));
+        let out = cancel_adjacent_inverses(&c);
+        assert_eq!(out.gate_count(), 1);
+        assert!(equivalent_up_to_phase(&out, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn preprocess_nam_end_to_end() {
+        let mut c = Circuit::new(3, 0);
+        c.push(Instruction::new(Gate::Ccx, vec![0, 1, 2], vec![]));
+        c.push(Instruction::new(Gate::T, vec![0], vec![]));
+        c.push(Instruction::new(Gate::Tdg, vec![0], vec![]));
+        let out = preprocess_nam(&c);
+        assert!(GateSet::nam().supports_circuit(&out));
+        assert!(equivalent_up_to_phase(&out, &c, &[], 1e-9));
+        assert!(out.gate_count() <= 15);
+    }
+
+    #[test]
+    fn ibm_transpilation_preserves_semantics() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        c.push(Instruction::new(Gate::X, vec![1], vec![]));
+        c.push(rz_const(1, 3));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        let ibm = nam_to_ibm(&c);
+        assert!(GateSet::ibm().supports_circuit(&ibm));
+        assert!(equivalent_up_to_phase(&ibm, &c, &[], 1e-9));
+        assert_eq!(ibm.gate_count(), c.gate_count());
+    }
+
+    #[test]
+    fn rigetti_transpilation_preserves_semantics() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        c.push(Instruction::new(Gate::X, vec![0], vec![]));
+        c.push(rz_const(1, 1));
+        let rig = nam_to_rigetti(&c);
+        assert!(GateSet::rigetti().supports_circuit(&rig));
+        assert!(equivalent_up_to_phase(&rig, &c, &[], 1e-9));
+    }
+
+    #[test]
+    fn rigetti_cnot_chain_cancels_intermediate_hadamards() {
+        // Two CNOTs sharing a target produce adjacent H pairs that cancel.
+        let mut c = Circuit::new(3, 0);
+        c.push(Instruction::new(Gate::Cnot, vec![0, 2], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![1, 2], vec![]));
+        let rig = nam_to_rigetti(&c);
+        // Naive expansion would give 2 CZ + 4 H → 2 CZ + 4×3 Rigetti gates;
+        // with cancellation only the outer pair of H's remains.
+        assert_eq!(rig.count_gate(Gate::Cz), 2);
+        assert_eq!(rig.count_gate(Gate::Rx90), 2);
+        assert!(equivalent_up_to_phase(&rig, &c, &[], 1e-9));
+    }
+}

@@ -1,0 +1,336 @@
+//! The cost-based backtracking search of the optimizer (paper §6,
+//! Algorithm 2).
+
+use crate::cost::CostModel;
+use crate::matcher::apply_all;
+use crate::xform::{canonicalize, Transformation};
+use quartz_ir::Circuit;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Configuration of the backtracking search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// The hyper-parameter γ: candidates whose cost exceeds γ times the best
+    /// cost found so far are not enqueued. γ = 1.0001 (the paper's value)
+    /// admits cost-preserving rewrites but not cost-increasing ones.
+    pub gamma: f64,
+    /// Wall-clock budget for the search.
+    pub timeout: Duration,
+    /// Upper bound on the number of search iterations (circuit dequeues);
+    /// `usize::MAX` means unlimited. The paper bounds the search only by
+    /// time; the explicit bound makes scaled-down runs reproducible.
+    pub max_iterations: usize,
+    /// When the priority queue grows beyond this size it is pruned...
+    pub queue_prune_threshold: usize,
+    /// ... down to this many best candidates (paper §7.2 uses 2000 → 1000).
+    pub queue_keep: usize,
+    /// The cost model to minimize.
+    pub cost_model: CostModel,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            gamma: 1.0001,
+            timeout: Duration::from_secs(10),
+            max_iterations: usize::MAX,
+            queue_prune_threshold: 2000,
+            queue_keep: 1000,
+            cost_model: CostModel::GateCount,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A configuration with the given time budget and the paper's defaults
+    /// otherwise.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        SearchConfig { timeout, ..SearchConfig::default() }
+    }
+}
+
+/// Outcome of an optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The best circuit found.
+    pub best_circuit: Circuit,
+    /// Its cost under the configured cost model.
+    pub best_cost: usize,
+    /// The input circuit's cost.
+    pub initial_cost: usize,
+    /// Number of circuits dequeued (search iterations).
+    pub iterations: usize,
+    /// Number of distinct circuits ever enqueued.
+    pub circuits_seen: usize,
+    /// Wall-clock time spent searching.
+    pub elapsed: Duration,
+    /// Trace of (elapsed, best cost) pairs recorded whenever the best cost
+    /// improved — used to reproduce the time-series plots (paper Figure 8).
+    pub improvement_trace: Vec<(Duration, usize)>,
+}
+
+impl SearchResult {
+    /// Relative gate-count (cost) reduction achieved, in [0, 1].
+    pub fn reduction(&self) -> f64 {
+        if self.initial_cost == 0 {
+            0.0
+        } else {
+            1.0 - self.best_cost as f64 / self.initial_cost as f64
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct QueueEntry {
+    cost: usize,
+    order: usize,
+    circuit: Circuit,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the lowest cost pops first,
+        // breaking ties by insertion order (FIFO) for determinism.
+        Reverse(self.cost)
+            .cmp(&Reverse(other.cost))
+            .then_with(|| Reverse(self.order).cmp(&Reverse(other.order)))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The cost-based backtracking optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use quartz_gen::{Generator, GenConfig};
+/// use quartz_ir::{Circuit, Gate, GateSet, Instruction};
+/// use quartz_opt::{Optimizer, SearchConfig};
+/// use std::time::Duration;
+///
+/// // Learn transformations for a tiny gate set and use them to cancel a
+/// // pair of Hadamard gates.
+/// let (ecc_set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 0)).run();
+/// let optimizer = Optimizer::from_ecc_set(&ecc_set, SearchConfig::with_timeout(Duration::from_secs(2)));
+///
+/// let mut circuit = Circuit::new(2, 0);
+/// circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+/// circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+/// circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+/// let result = optimizer.optimize(&circuit);
+/// assert_eq!(result.best_cost, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    transformations: Vec<Transformation>,
+    config: SearchConfig,
+}
+
+impl Optimizer {
+    /// Creates an optimizer from an explicit transformation list.
+    pub fn new(transformations: Vec<Transformation>, config: SearchConfig) -> Self {
+        Optimizer { transformations, config }
+    }
+
+    /// Creates an optimizer from an ECC set, extracting transformations with
+    /// common-subcircuit pruning enabled (paper §5.2).
+    pub fn from_ecc_set(set: &quartz_gen::EccSet, config: SearchConfig) -> Self {
+        let transformations = crate::xform::transformations_from_ecc_set(set, true);
+        Optimizer::new(transformations, config)
+    }
+
+    /// The transformations available to the search.
+    pub fn transformations(&self) -> &[Transformation] {
+        &self.transformations
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 2 on the input circuit.
+    pub fn optimize(&self, input: &Circuit) -> SearchResult {
+        let start = Instant::now();
+        let cost_model = self.config.cost_model;
+        let initial_cost = cost_model.cost(input);
+
+        let canonical_input = canonicalize(input);
+        let mut best_circuit = canonical_input.clone();
+        let mut best_cost = initial_cost;
+        let mut improvement_trace = vec![(Duration::ZERO, best_cost)];
+
+        let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        let mut seen: HashSet<Circuit> = HashSet::new();
+        let mut order = 0usize;
+        seen.insert(canonical_input.clone());
+        queue.push(QueueEntry { cost: initial_cost, order, circuit: canonical_input });
+
+        let mut iterations = 0usize;
+        while let Some(entry) = queue.pop() {
+            if start.elapsed() > self.config.timeout || iterations >= self.config.max_iterations {
+                break;
+            }
+            iterations += 1;
+            let circuit = entry.circuit;
+            let cost = entry.cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best_circuit = circuit.clone();
+                improvement_trace.push((start.elapsed(), best_cost));
+            }
+
+            for xform in &self.transformations {
+                for new_circuit in apply_all(&circuit, xform) {
+                    let canonical = canonicalize(&new_circuit);
+                    if seen.contains(&canonical) {
+                        continue;
+                    }
+                    let new_cost = cost_model.cost(&canonical);
+                    if (new_cost as f64) < self.config.gamma * best_cost as f64 {
+                        if new_cost < best_cost {
+                            best_cost = new_cost;
+                            best_circuit = canonical.clone();
+                            improvement_trace.push((start.elapsed(), best_cost));
+                        }
+                        order += 1;
+                        seen.insert(canonical.clone());
+                        queue.push(QueueEntry { cost: new_cost, order, circuit: canonical });
+                    }
+                }
+                if start.elapsed() > self.config.timeout {
+                    break;
+                }
+            }
+
+            // Queue capping (paper §7.2).
+            if queue.len() > self.config.queue_prune_threshold {
+                let mut entries: Vec<QueueEntry> = queue.into_sorted_vec();
+                // into_sorted_vec is ascending by Ord, i.e. highest priority
+                // (lowest cost) last; keep the best `queue_keep`.
+                entries.reverse();
+                entries.truncate(self.config.queue_keep);
+                queue = entries.into_iter().collect();
+            }
+        }
+
+        SearchResult {
+            best_circuit,
+            best_cost,
+            initial_cost,
+            iterations,
+            circuits_seen: seen.len(),
+            elapsed: start.elapsed(),
+            improvement_trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xform::instruction;
+    use quartz_gen::{GenConfig, Generator};
+    use quartz_ir::{equivalent_up_to_phase, Gate, GateSet, Instruction, ParamExpr};
+
+    fn nam_optimizer(n: usize, q: usize, m: usize) -> Optimizer {
+        let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(n, q, m)).run();
+        Optimizer::from_ecc_set(&set, SearchConfig::with_timeout(Duration::from_secs(5)))
+    }
+
+    #[test]
+    fn cancels_adjacent_hadamards_and_cnots() {
+        let opt = nam_optimizer(2, 2, 0);
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(instruction(Gate::X, &[1]));
+        let result = opt.optimize(&c);
+        assert_eq!(result.best_cost, 1);
+        assert!(equivalent_up_to_phase(&result.best_circuit, &c, &[], 1e-10));
+        assert!(result.reduction() > 0.7);
+    }
+
+    #[test]
+    fn merges_rotations_via_learned_transformations() {
+        let opt = nam_optimizer(2, 1, 2);
+        let mut c = Circuit::new(1, 0);
+        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(1)]));
+        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(2)]));
+        let result = opt.optimize(&c);
+        assert_eq!(result.best_cost, 1);
+        assert!(equivalent_up_to_phase(&result.best_circuit, &c, &[], 1e-10));
+    }
+
+    #[test]
+    fn hadamard_cnot_flip_requires_nonlocal_sequence() {
+        // Figure 3b: rewriting H H CNOT H H to the flipped CNOT needs three
+        // transformation steps through cost-neutral intermediates when only
+        // (2,q)-complete transformations are available — exercised here with
+        // a (3,2) ECC set and γ slightly above 1.
+        let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(3, 2, 0)).run();
+        let opt = Optimizer::from_ecc_set(
+            &set,
+            SearchConfig { timeout: Duration::from_secs(20), ..SearchConfig::default() },
+        );
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[1]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[1]));
+        let result = opt.optimize(&c);
+        assert!(result.best_cost <= 3, "expected substantial reduction, got {}", result.best_cost);
+        assert!(equivalent_up_to_phase(&result.best_circuit, &c, &[], 1e-10));
+    }
+
+    #[test]
+    fn already_optimal_circuit_is_unchanged() {
+        let opt = nam_optimizer(2, 2, 0);
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        let result = opt.optimize(&c);
+        assert_eq!(result.best_cost, 1);
+        assert_eq!(result.initial_cost, 1);
+        assert!((result.reduction() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let opt = Optimizer::new(
+            nam_optimizer(2, 2, 0).transformations().to_vec(),
+            SearchConfig { max_iterations: 1, ..SearchConfig::default() },
+        );
+        let mut c = Circuit::new(2, 0);
+        for _ in 0..4 {
+            c.push(instruction(Gate::H, &[0]));
+        }
+        let result = opt.optimize(&c);
+        assert!(result.iterations <= 1);
+    }
+
+    #[test]
+    fn improvement_trace_is_monotone() {
+        let opt = nam_optimizer(2, 2, 0);
+        let mut c = Circuit::new(2, 0);
+        for _ in 0..3 {
+            c.push(instruction(Gate::H, &[1]));
+            c.push(instruction(Gate::H, &[1]));
+        }
+        let result = opt.optimize(&c);
+        let costs: Vec<usize> = result.improvement_trace.iter().map(|(_, c)| *c).collect();
+        assert!(costs.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(*costs.last().unwrap(), result.best_cost);
+        assert_eq!(result.best_cost, 0);
+    }
+}

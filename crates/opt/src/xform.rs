@@ -1,0 +1,199 @@
+//! Circuit transformations extracted from ECC sets, and the canonical
+//! sequence form used to deduplicate circuits during search (paper §6).
+
+use quartz_gen::EccSet;
+use quartz_ir::Circuit;
+#[cfg(test)]
+use quartz_ir::Instruction;
+use serde::{Deserialize, Serialize};
+
+/// A circuit transformation (C_T, C_R): replace a subcircuit matching the
+/// target pattern with the rewrite circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transformation {
+    /// The target pattern C_T.
+    pub target: Circuit,
+    /// The rewrite circuit C_R.
+    pub rewrite: Circuit,
+}
+
+impl Transformation {
+    /// Change in gate count when the transformation is applied
+    /// (negative means the circuit shrinks).
+    pub fn gate_delta(&self) -> isize {
+        self.rewrite.gate_count() as isize - self.target.gate_count() as isize
+    }
+}
+
+/// Extracts the transformation list from an ECC set, as the optimizer does
+/// (paper §6): for each class with representative C₁ and members C₂..Cₓ it
+/// yields C₁→Cᵢ and Cᵢ→C₁ — 2(x−1) transformations per class.
+///
+/// Transformations whose target pattern is empty are dropped (an empty
+/// pattern matches everywhere and only ever increases cost), and when
+/// `prune_common_subcircuits` is set, pairs sharing a first or last gate are
+/// dropped too (paper §5.2).
+pub fn transformations_from_ecc_set(set: &EccSet, prune_common_subcircuits: bool) -> Vec<Transformation> {
+    let mut out = Vec::new();
+    for ecc in &set.eccs {
+        let rep = ecc.representative().clone();
+        for other in ecc.circuits().iter().skip(1) {
+            if prune_common_subcircuits && shares_boundary_gate(&rep, other) {
+                continue;
+            }
+            if !other.is_empty() {
+                out.push(Transformation { target: other.clone(), rewrite: rep.clone() });
+            }
+            if !rep.is_empty() {
+                out.push(Transformation { target: rep.clone(), rewrite: other.clone() });
+            }
+        }
+    }
+    out
+}
+
+fn shares_boundary_gate(a: &Circuit, b: &Circuit) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    a.instructions()[0] == b.instructions()[0]
+        || a.instructions().last() == b.instructions().last()
+}
+
+/// Produces a canonical sequence representation of a circuit: the
+/// lexicographically smallest topological order of its gate DAG.
+///
+/// Circuits that are merely different sequence representations of the same
+/// DAG canonicalize to the same sequence, which keeps the optimizer's
+/// seen-set (D_seen in Algorithm 2) from revisiting reorderings.
+pub fn canonicalize(circuit: &Circuit) -> Circuit {
+    let instrs = circuit.instructions();
+    let n = instrs.len();
+    let preds = circuit.wire_predecessors();
+    // in-degree in the wire-dependency DAG
+    let mut indegree = vec![0usize; n];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for p in ps.iter().flatten() {
+            indegree[i] += 1;
+            successors[*p].push(i);
+        }
+    }
+    let mut available: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    let mut emitted = 0;
+    while emitted < n {
+        // Pick the smallest available instruction (by instruction ordering,
+        // then by original index for determinism).
+        let (pos, &best) = available
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| instrs[a].cmp(&instrs[b]).then(a.cmp(&b)))
+            .expect("the dependency DAG of a circuit is acyclic");
+        available.swap_remove(pos);
+        out.push(instrs[best].clone());
+        emitted += 1;
+        for &s in &successors[best] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                available.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Convenience constructor used by this crate's tests.
+#[cfg(test)]
+pub(crate) fn instruction(gate: quartz_ir::Gate, qubits: &[usize]) -> Instruction {
+    Instruction::new(gate, qubits.to_vec(), vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_gen::Ecc;
+    use quartz_ir::{equivalent_up_to_phase, Gate};
+
+    fn h(q: usize) -> Instruction {
+        instruction(Gate::H, &[q])
+    }
+
+    #[test]
+    fn transformations_are_bidirectional() {
+        let mut hh = Circuit::new(1, 0);
+        hh.push(h(0));
+        hh.push(h(0));
+        let empty = Circuit::new(1, 0);
+        let mut set = EccSet::new(1, 0);
+        set.eccs.push(Ecc::new(vec![hh.clone(), empty.clone()]));
+        let xforms = transformations_from_ecc_set(&set, false);
+        // empty → HH is dropped (empty target), HH → empty is kept.
+        assert_eq!(xforms.len(), 1);
+        assert_eq!(xforms[0].target, hh);
+        assert_eq!(xforms[0].rewrite, empty);
+        assert_eq!(xforms[0].gate_delta(), -2);
+    }
+
+    #[test]
+    fn non_empty_classes_give_two_directions() {
+        let mut a = Circuit::new(2, 0);
+        a.push(instruction(Gate::Cnot, &[0, 1]));
+        a.push(instruction(Gate::Cnot, &[1, 0]));
+        let mut b = Circuit::new(2, 0);
+        b.push(instruction(Gate::Cnot, &[1, 0]));
+        b.push(instruction(Gate::Cnot, &[0, 1]));
+        let mut set = EccSet::new(2, 0);
+        set.eccs.push(Ecc::new(vec![a, b]));
+        let xforms = transformations_from_ecc_set(&set, false);
+        assert_eq!(xforms.len(), 2);
+    }
+
+    #[test]
+    fn common_boundary_pruning_drops_pairs() {
+        let mut a = Circuit::new(1, 0);
+        a.push(h(0));
+        a.push(instruction(Gate::X, &[0]));
+        let mut b = Circuit::new(1, 0);
+        b.push(h(0));
+        b.push(instruction(Gate::Z, &[0]));
+        // Not actually equivalent, but that is irrelevant for this unit test
+        // of the pruning predicate: they share the leading H.
+        let mut set = EccSet::new(1, 0);
+        set.eccs.push(Ecc::new(vec![a, b]));
+        assert_eq!(transformations_from_ecc_set(&set, true).len(), 0);
+        assert_eq!(transformations_from_ecc_set(&set, false).len(), 2);
+    }
+
+    #[test]
+    fn canonicalize_identifies_reorderings() {
+        // X on qubit 1 and H on qubit 0 commute; both orders canonicalize to
+        // the same sequence.
+        let mut a = Circuit::new(2, 0);
+        a.push(instruction(Gate::X, &[1]));
+        a.push(h(0));
+        let mut b = Circuit::new(2, 0);
+        b.push(h(0));
+        b.push(instruction(Gate::X, &[1]));
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        assert!(equivalent_up_to_phase(&canonicalize(&a), &a, &[], 1e-10));
+    }
+
+    #[test]
+    fn canonicalize_respects_dependencies() {
+        let mut c = Circuit::new(2, 0);
+        c.push(h(0));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(h(1));
+        let canon = canonicalize(&c);
+        assert!(equivalent_up_to_phase(&canon, &c, &[], 1e-10));
+        // The CNOT cannot move before the H on its control.
+        let pos_h0 = canon.instructions().iter().position(|i| *i == h(0)).unwrap();
+        let pos_cx = canon
+            .instructions()
+            .iter()
+            .position(|i| i.gate == Gate::Cnot)
+            .unwrap();
+        assert!(pos_h0 < pos_cx);
+    }
+}

@@ -1,0 +1,46 @@
+//! # quartz-verify
+//!
+//! The circuit equivalence verifier of the Quartz superoptimizer
+//! reproduction (paper §4).
+//!
+//! Two symbolic circuits are equivalent (Definition 1) when, for every
+//! assignment of the parameters, their unitaries differ only by a global
+//! phase. The verifier:
+//!
+//! 1. searches a finite space of linear phase factors β(p⃗) = a⃗·p⃗ + b by
+//!    numeric evaluation at a random point ([`candidate_phases`], eq. 5), and
+//! 2. checks each candidate *exactly* by comparing the circuits' symbolic
+//!    unitaries — matrices of polynomials over ℚ(ζ₈) — modulo the
+//!    trigonometric ideal ([`Verifier`], eq. 6).
+//!
+//! Step 2 plays the role of the Z3 query in the original system; for the
+//! class of verification conditions Quartz generates it is a sound and
+//! complete decision procedure (see `quartz_math::Poly`).
+//!
+//! # Example
+//!
+//! ```
+//! use quartz_ir::{Circuit, Gate, Instruction, ParamExpr};
+//! use quartz_verify::Verifier;
+//!
+//! // Two Rz rotations on the same qubit fuse: Rz(p0)·Rz(p1) ≡ Rz(p0+p1).
+//! let m = 2;
+//! let mut two = Circuit::new(1, m);
+//! two.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, m)]));
+//! two.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(1, m)]));
+//! let mut fused = Circuit::new(1, m);
+//! fused.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::sum_vars(0, 1, m)]));
+//!
+//! let mut verifier = Verifier::default();
+//! assert!(verifier.check(&two, &fused).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod phase;
+pub mod symsem;
+mod verifier;
+
+pub use phase::{candidate_phases, PhaseFactor};
+pub use verifier::{Verdict, Verifier, VerifierConfig, VerifierStats, VerifyError};

@@ -1,0 +1,35 @@
+//! Quartz works for *arbitrary* gate sets: define your own gate set, let the
+//! generator discover and verify its transformations, and inspect what it
+//! found — no hand-written rules anywhere.
+//!
+//! Run with `cargo run --release --example custom_gate_set`.
+
+use quartz::gen::{prune, GenConfig, Generator};
+use quartz::ir::{Gate, GateSet};
+
+fn main() {
+    // A made-up device that supports only Hadamard, T, and CZ.
+    let gate_set = GateSet::new("HTCZ", vec![Gate::H, Gate::T, Gate::Tdg, Gate::Cz]);
+    println!("Custom gate set: {gate_set}");
+
+    let config = GenConfig::standard(3, 2, 0);
+    let (ecc_set, stats) = Generator::new(gate_set, config).run();
+    let (pruned, _) = prune(&ecc_set);
+
+    println!(
+        "Discovered {} equivalence classes ({} transformations) among {} candidate circuits in {:.2?}.",
+        pruned.len(),
+        pruned.num_transformations(),
+        stats.circuits_considered,
+        stats.total_time
+    );
+    println!("\nA few verified identities (representative ≡ member):");
+    for ecc in pruned.eccs.iter().take(8) {
+        let rep = ecc.representative();
+        for member in ecc.circuits().iter().skip(1).take(1) {
+            println!("  [{}]  ≡  [{}]", rep, member);
+        }
+    }
+    println!("\nEvery identity above was verified exactly (not numerically) by the");
+    println!("polynomial-identity decision procedure that replaces Z3 in this reproduction.");
+}

@@ -1,0 +1,40 @@
+//! Generate ECC sets for the three gate sets of the paper (Table 1), print
+//! the Table-5-style metrics, and save the sets to JSON files that the
+//! optimizer (or the original Quartz tooling) can load later.
+//!
+//! Run with `cargo run --release --example generate_ecc_sets [-- <max_n>]`.
+
+use quartz::gen::{prune, GenConfig, Generator};
+use quartz::ir::GateSet;
+
+fn main() {
+    let max_n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let out_dir = std::env::temp_dir().join("quartz_ecc_sets");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let targets = [
+        (GateSet::nam(), 2usize),
+        (GateSet::ibm(), 4),
+        (GateSet::rigetti(), 2),
+    ];
+    println!("{:<10} {:>3} {:>10} {:>10} {:>12} {:>12}", "gate set", "n", "|T|", "|R_n|", "verify (s)", "total (s)");
+    for (gate_set, m) in targets {
+        for n in 1..=max_n {
+            let config = GenConfig::standard(n, 2, m);
+            let (raw, stats) = Generator::new(gate_set.clone(), config).run();
+            let (pruned, _) = prune(&raw);
+            println!(
+                "{:<10} {:>3} {:>10} {:>10} {:>12.2} {:>12.2}",
+                gate_set.name(),
+                n,
+                pruned.num_transformations(),
+                stats.num_representatives,
+                stats.verification_time.as_secs_f64(),
+                stats.total_time.as_secs_f64()
+            );
+            let path = out_dir.join(format!("{}_n{}_q2.json", gate_set.name().to_lowercase(), n));
+            pruned.save(&path).expect("save ECC set");
+        }
+    }
+    println!("\nECC sets written to {}", out_dir.display());
+}

@@ -1,0 +1,51 @@
+//! Optimize a benchmark circuit from the paper's suite end-to-end:
+//! Clifford+T input → preprocessing (Toffoli decomposition + rotation
+//! merging) → superoptimizer search, for the Nam gate set.
+//!
+//! Run with `cargo run --release --example optimize_benchmark [-- <circuit_name>]`.
+
+use quartz::circuits::suite;
+use quartz::gen::{GenConfig, Generator};
+use quartz::ir::GateSet;
+use quartz::opt::{greedy_optimize, preprocess_nam, Optimizer, SearchConfig};
+use std::time::Duration;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tof_3".to_string());
+    let circuit = match suite::build_clifford_t(&name) {
+        Some(c) => c,
+        None => {
+            eprintln!("unknown benchmark {name:?}; available: {:?}", suite::BENCHMARK_NAMES);
+            std::process::exit(1);
+        }
+    };
+    println!("Benchmark {name}: {} Clifford+T gates over {} qubits", circuit.gate_count(), circuit.num_qubits());
+
+    // Greedy rule-based baseline (the class of optimizer Quartz is compared
+    // against in the paper).
+    let (greedy, gstats) = greedy_optimize(&circuit);
+    println!("Greedy rule-based baseline: {} gates ({} passes)", greedy.gate_count(), gstats.passes);
+
+    // Quartz preprocessing (paper §7.1).
+    let preprocessed = preprocess_nam(&circuit);
+    println!("Quartz preprocess (Toffoli decomposition + rotation merging): {} gates", preprocessed.gate_count());
+
+    // Quartz search with a small learned transformation library.
+    println!("Generating a (3, 2)-complete ECC set for the Nam gate set...");
+    let (ecc_set, _) = Generator::new(GateSet::nam(), GenConfig::standard(3, 2, 2)).run();
+    let optimizer = Optimizer::from_ecc_set(
+        &ecc_set,
+        SearchConfig {
+            timeout: Duration::from_secs(10),
+            max_iterations: 100,
+            ..SearchConfig::default()
+        },
+    );
+    let result = optimizer.optimize(&preprocessed);
+    println!(
+        "Quartz end-to-end: {} gates ({:.1}% reduction over the original, {} search iterations)",
+        result.best_cost,
+        100.0 * (1.0 - result.best_cost as f64 / circuit.gate_count() as f64),
+        result.iterations
+    );
+}

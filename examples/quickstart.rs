@@ -1,0 +1,57 @@
+//! Quickstart: generate transformations for a gate set, verify them, and use
+//! them to optimize a small circuit.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use quartz::gen::{prune, GenConfig, Generator};
+use quartz::ir::{Circuit, Gate, GateSet, Instruction};
+use quartz::opt::{Optimizer, SearchConfig};
+use std::time::Duration;
+
+fn main() {
+    // 1. Pick a gate set and generate a small (n, q)-complete ECC set.
+    let gate_set = GateSet::nam();
+    let config = GenConfig::standard(3, 2, 1);
+    println!("Generating transformations for the {gate_set} gate set (n=3, q=2, m=1)...");
+    let (ecc_set, stats) = Generator::new(gate_set, config).run();
+    println!(
+        "  {} classes, {} transformations, {} representatives, generated in {:.2?}",
+        ecc_set.len(),
+        ecc_set.num_transformations(),
+        stats.num_representatives,
+        stats.total_time
+    );
+
+    // 2. Prune redundant transformations (paper §5).
+    let (pruned, prune_stats) = prune(&ecc_set);
+    println!(
+        "  pruning: {} → {} → {} circuits (ECC simplification, common-subcircuit)",
+        prune_stats.circuits_before,
+        prune_stats.circuits_after_simplification,
+        prune_stats.circuits_after_common_subcircuit
+    );
+
+    // 3. Build a circuit with some obvious redundancy.
+    let mut circuit = Circuit::new(2, 0);
+    circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+    circuit.push(Instruction::new(Gate::H, vec![1], vec![]));
+    circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+    circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+    circuit.push(Instruction::new(Gate::H, vec![1], vec![]));
+    println!("\nInput circuit ({} gates): {circuit}", circuit.gate_count());
+
+    // 4. Optimize with the cost-based backtracking search (paper §6).
+    let optimizer = Optimizer::from_ecc_set(&pruned, SearchConfig::with_timeout(Duration::from_secs(5)));
+    let result = optimizer.optimize(&circuit);
+    println!(
+        "Optimized circuit ({} gates, {:.1}% reduction after {} search iterations): {}",
+        result.best_cost,
+        100.0 * result.reduction(),
+        result.iterations,
+        result.best_circuit
+    );
+
+    // 5. Double-check the result numerically.
+    let ok = quartz::ir::equivalent_up_to_phase(&circuit, &result.best_circuit, &[], 1e-9);
+    println!("Numeric equivalence check (up to global phase): {}", if ok { "passed" } else { "FAILED" });
+}

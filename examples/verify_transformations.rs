@@ -1,0 +1,64 @@
+//! Use the equivalence verifier directly: check textbook circuit identities
+//! (and non-identities), including parametric ones, and show the discovered
+//! global phase factors.
+//!
+//! Run with `cargo run --release --example verify_transformations`.
+
+use quartz::ir::{Circuit, Gate, Instruction, ParamExpr};
+use quartz::verify::{Verdict, Verifier};
+
+fn gate(g: Gate, qubits: &[usize]) -> Instruction {
+    Instruction::new(g, qubits.to_vec(), vec![])
+}
+
+fn main() {
+    let mut verifier = Verifier::with_phase_coeff_range(2);
+
+    // Identity 1: the Hadamard sandwich flips a CNOT (Figure 3a).
+    let mut lhs = Circuit::new(2, 0);
+    for q in [0, 1] {
+        lhs.push(gate(Gate::H, &[q]));
+    }
+    lhs.push(gate(Gate::Cnot, &[0, 1]));
+    for q in [0, 1] {
+        lhs.push(gate(Gate::H, &[q]));
+    }
+    let mut rhs = Circuit::new(2, 0);
+    rhs.push(gate(Gate::Cnot, &[1, 0]));
+    report(&mut verifier, "H⊗H · CNOT₀₁ · H⊗H  ≟  CNOT₁₀", &lhs, &rhs);
+
+    // Identity 2: rotation fusion with symbolic parameters.
+    let m = 2;
+    let mut two = Circuit::new(1, m);
+    two.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, m)]));
+    two.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(1, m)]));
+    let mut fused = Circuit::new(1, m);
+    fused.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::sum_vars(0, 1, m)]));
+    report(&mut verifier, "Rz(p0)·Rz(p1)  ≟  Rz(p0+p1)", &two, &fused);
+
+    // Identity 3: a parameter-dependent phase factor — U1(2p) vs Rz(2p).
+    let mut u1 = Circuit::new(1, 1);
+    u1.push(Instruction::new(Gate::U1, vec![0], vec![ParamExpr::scaled_var(0, 2, 1)]));
+    let mut rz = Circuit::new(1, 1);
+    rz.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::scaled_var(0, 2, 1)]));
+    report(&mut verifier, "U1(2p0)  ≟  Rz(2p0)", &u1, &rz);
+
+    // Non-identity: T and S are not equivalent.
+    let mut t = Circuit::new(1, 0);
+    t.push(gate(Gate::T, &[0]));
+    let mut s = Circuit::new(1, 0);
+    s.push(gate(Gate::S, &[0]));
+    report(&mut verifier, "T  ≟  S", &t, &s);
+
+    let stats = verifier.stats();
+    println!("\nVerifier statistics: {} queries, {} exact symbolic checks, {} verified equivalent.",
+        stats.queries, stats.symbolic_checks, stats.verified_equivalent);
+}
+
+fn report(verifier: &mut Verifier, label: &str, a: &Circuit, b: &Circuit) {
+    match verifier.equivalent(a, b) {
+        Ok(Verdict::Equivalent(phase)) => println!("{label}: EQUIVALENT with phase {phase}"),
+        Ok(Verdict::NotEquivalent) => println!("{label}: not equivalent"),
+        Err(e) => println!("{label}: error: {e}"),
+    }
+}

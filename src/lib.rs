@@ -1,0 +1,75 @@
+//! # Quartz (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of **Quartz: Superoptimization of
+//! Quantum Circuits** (PLDI 2022). Quartz automatically *generates* and
+//! *verifies* circuit transformations for an arbitrary quantum gate set, and
+//! then optimizes input circuits with a cost-based backtracking search over
+//! the verified transformations.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! | Module | Crate | Paper section |
+//! |---|---|---|
+//! | [`math`] | `quartz-math` | exact arithmetic substrate (replaces Z3) |
+//! | [`ir`] | `quartz-ir` | §2 — symbolic circuits, gate sets, Σ |
+//! | [`verify`] | `quartz-verify` | §4 — equivalence verifier |
+//! | [`gen`] | `quartz-gen` | §3, §5 — RepGen and pruning |
+//! | [`opt`] | `quartz-opt` | §6, §7.1 — optimizer and preprocessing |
+//! | [`circuits`] | `quartz-circuits` | §7.2 — benchmark suite |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quartz::gen::{GenConfig, Generator};
+//! use quartz::ir::{Circuit, Gate, GateSet, Instruction};
+//! use quartz::opt::{Optimizer, SearchConfig};
+//! use std::time::Duration;
+//!
+//! // 1. Generate and verify transformations for the Nam gate set.
+//! let (ecc_set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 0)).run();
+//!
+//! // 2. Optimize a circuit with the learned transformations.
+//! let optimizer = Optimizer::from_ecc_set(&ecc_set, SearchConfig::with_timeout(Duration::from_secs(2)));
+//! let mut circuit = Circuit::new(2, 0);
+//! for _ in 0..2 {
+//!     circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+//! }
+//! circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+//! assert_eq!(optimizer.optimize(&circuit).best_cost, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Exact arithmetic substrate: big integers, rationals, ℚ(ζ₈), matrices,
+/// polynomials modulo the trigonometric ideal.
+pub mod math {
+    pub use quartz_math::*;
+}
+
+/// Symbolic circuit IR: gates, gate sets, parameter expressions, circuits,
+/// QASM, numeric semantics and fingerprints.
+pub mod ir {
+    pub use quartz_ir::*;
+}
+
+/// The circuit equivalence verifier (paper §4).
+pub mod verify {
+    pub use quartz_verify::*;
+}
+
+/// The RepGen generator, ECC sets and pruning passes (paper §3, §5).
+pub mod gen {
+    pub use quartz_gen::*;
+}
+
+/// The circuit optimizer, preprocessing passes and greedy baseline
+/// (paper §6, §7.1).
+pub mod opt {
+    pub use quartz_opt::*;
+}
+
+/// The benchmark circuit suite (paper §7.2).
+pub mod circuits {
+    pub use quartz_circuits::*;
+}
