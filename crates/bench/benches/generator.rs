@@ -16,12 +16,17 @@ fn bench_generator(c: &mut Criterion) {
         ("ibm_n1_q2", GateSet::ibm(), 1, 2, 4),
     ];
     for (name, gate_set, n, q, m) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(gate_set, n, q, m), |b, (gs, n, q, m)| {
-            b.iter(|| {
-                let (set, _) = Generator::new(gs.clone(), GenConfig::standard(*n, *q, *m)).run();
-                std::hint::black_box(set.num_transformations())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(gate_set, n, q, m),
+            |b, (gs, n, q, m)| {
+                b.iter(|| {
+                    let (set, _) =
+                        Generator::new(gs.clone(), GenConfig::standard(*n, *q, *m)).run();
+                    std::hint::black_box(set.num_transformations())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks for the optimizer (paper §6): preprocessing,
-//! the greedy baseline, and short cost-based searches on benchmark circuits.
+//! the greedy baseline, short cost-based searches on benchmark circuits, and
+//! the indexed-vs-linear dispatch comparison on QFT-8 (DESIGN.md §2.2).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use quartz_bench::{build_ecc_set, GateSetKind};
-use quartz_circuits::suite;
+use quartz_circuits::{approximate_qft, suite};
 use quartz_opt::{greedy_optimize, preprocess_nam, Optimizer, SearchConfig};
 use std::time::Duration;
 
@@ -45,5 +46,56 @@ fn bench_search_iterations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_preprocessing, bench_greedy_baseline, bench_search_iterations);
+/// Indexed dispatch vs the full linear scan on QFT-8: same search outcome,
+/// strictly fewer pattern-match attempts (reported alongside the timings).
+fn bench_dispatch_qft8(c: &mut Criterion) {
+    let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+    let qft = approximate_qft(8);
+    let config = SearchConfig {
+        timeout: Duration::from_secs(120),
+        max_iterations: 8,
+        ..SearchConfig::default()
+    };
+    let indexed = Optimizer::from_ecc_set(&ecc_set, config.clone());
+    let linear = Optimizer::from_ecc_set(
+        &ecc_set,
+        SearchConfig {
+            use_index: false,
+            ..config
+        },
+    );
+
+    let indexed_result = indexed.optimize(&qft);
+    let linear_result = linear.optimize(&qft);
+    println!(
+        "qft_8 dispatch: indexed {} attempts (+{} skipped, {:.1}% skip rate), \
+         linear {} attempts; best cost {} vs {}",
+        indexed_result.match_attempts,
+        indexed_result.match_skips,
+        100.0 * indexed_result.dispatch_skip_rate(),
+        linear_result.match_attempts,
+        indexed_result.best_cost,
+        linear_result.best_cost,
+    );
+    assert!(indexed_result.match_attempts < linear_result.match_attempts);
+    assert!(indexed_result.best_cost <= linear_result.best_cost);
+
+    let mut group = c.benchmark_group("dispatch_qft_8");
+    group.sample_size(10);
+    group.bench_function("indexed", |b| {
+        b.iter(|| std::hint::black_box(indexed.optimize(&qft).match_attempts))
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| std::hint::black_box(linear.optimize(&qft).match_attempts))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preprocessing,
+    bench_greedy_baseline,
+    bench_search_iterations,
+    bench_dispatch_qft8
+);
 criterion_main!(benches);

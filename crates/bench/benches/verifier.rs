@@ -22,10 +22,22 @@ fn cnot_flip_pair() -> (Circuit, Circuit) {
 fn rotation_merge_pair() -> (Circuit, Circuit) {
     let m = 2;
     let mut two = Circuit::new(1, m);
-    two.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, m)]));
-    two.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(1, m)]));
+    two.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::var(0, m)],
+    ));
+    two.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::var(1, m)],
+    ));
     let mut fused = Circuit::new(1, m);
-    fused.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::sum_vars(0, 1, m)]));
+    fused.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::sum_vars(0, 1, m)],
+    ));
     (two, fused)
 }
 

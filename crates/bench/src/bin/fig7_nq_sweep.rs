@@ -23,9 +23,14 @@ fn main() {
     let kind = GateSetKind::Nam;
 
     println!("Figure 7 (Nam gate set): geo. mean reduction vs (n, q) of the ECC set");
-    println!("Paper reference: ~18.6% at n=0 (preprocessing only), rising to ~28.7% at q=3, 3 ≤ n ≤ 6.");
+    println!(
+        "Paper reference: ~18.6% at n=0 (preprocessing only), rising to ~28.7% at q=3, 3 ≤ n ≤ 6."
+    );
     println!();
-    println!("{:>3} {:>3} {:>16} {:>14}", "q", "n", "transformations", "reduction");
+    println!(
+        "{:>3} {:>3} {:>16} {:>14}",
+        "q", "n", "transformations", "reduction"
+    );
     for q in 1..=max_q {
         for n in 0..=max_n {
             let mut scale = Scale::from_args(kind, &args);
@@ -36,9 +41,17 @@ fn main() {
             let num_xforms: usize = if n == 0 {
                 0
             } else {
-                quartz_bench::build_ecc_set(kind, n, q).0.num_transformations()
+                quartz_bench::build_ecc_set(kind, n, q)
+                    .0
+                    .num_transformations()
             };
-            println!("{:>3} {:>3} {:>16} {:>13.1}%", q, n, num_xforms, 100.0 * reduction);
+            println!(
+                "{:>3} {:>3} {:>16} {:>13.1}%",
+                q,
+                n,
+                num_xforms,
+                100.0 * reduction
+            );
         }
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! Usage: `cargo run --release -p quartz-bench --bin table3_ibm [-- --scale full --timeout <secs> --n <n> --q <q>]`
 
-use quartz_bench::{paper_geo_mean, print_optimization_table, run_optimization_experiment, GateSetKind, Scale};
+use quartz_bench::{
+    paper_geo_mean, print_optimization_table, run_optimization_experiment, GateSetKind, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -13,7 +13,9 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok());
     let q = 3;
     println!("Paper reference (Table 6, Nam, q=3): possible 604 / 11,404 / 198,028 for n = 2/3/4;");
-    println!("RepGen considers 400 / 1,180 / 5,178 and pruning reduces further to 50 / 164 / 1,199.");
+    println!(
+        "RepGen considers 400 / 1,180 / 5,178 and pruning reduces further to 50 / 164 / 1,199."
+    );
     println!();
     let plans: [(GateSetKind, usize); 3] = [
         (GateSetKind::Nam, max_n.unwrap_or(3)),

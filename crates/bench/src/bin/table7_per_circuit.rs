@@ -41,7 +41,10 @@ fn main() {
     println!();
     let num_circuits = all_rows[0].len();
     for idx in 0..num_circuits {
-        print!("{:<16} {:>8}", all_rows[0][idx].name, all_rows[0][idx].original);
+        print!(
+            "{:<16} {:>8}",
+            all_rows[0][idx].name, all_rows[0][idx].original
+        );
         for rows in &all_rows {
             print!(" {:>8}", rows[idx].quartz);
         }

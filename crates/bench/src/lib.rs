@@ -94,14 +94,24 @@ impl GateSetKind {
                 let nam = quartz_opt::clifford_t_to_nam(circuit);
                 let mut out = Circuit::new(nam.num_qubits(), nam.num_params());
                 let emit_h = |out: &mut Circuit, q: usize| {
-                    out.push(Instruction::new(Gate::Rz, vec![q], vec![ParamExpr::constant_pi4(2)]));
+                    out.push(Instruction::new(
+                        Gate::Rz,
+                        vec![q],
+                        vec![ParamExpr::constant_pi4(2)],
+                    ));
                     out.push(Instruction::new(Gate::Rx90, vec![q], vec![]));
-                    out.push(Instruction::new(Gate::Rz, vec![q], vec![ParamExpr::constant_pi4(2)]));
+                    out.push(Instruction::new(
+                        Gate::Rz,
+                        vec![q],
+                        vec![ParamExpr::constant_pi4(2)],
+                    ));
                 };
                 for instr in nam.instructions() {
                     match instr.gate {
                         Gate::H => emit_h(&mut out, instr.qubits[0]),
-                        Gate::X => out.push(Instruction::new(Gate::Rx180, instr.qubits.clone(), vec![])),
+                        Gate::X => {
+                            out.push(Instruction::new(Gate::Rx180, instr.qubits.clone(), vec![]))
+                        }
                         Gate::Cnot => {
                             let (c, t) = (instr.qubits[0], instr.qubits[1]);
                             emit_h(&mut out, t);
@@ -281,7 +291,12 @@ pub fn geo_mean_reduction(rows: &[CircuitRow], column: impl Fn(&CircuitRow) -> u
 }
 
 /// Prints a Table 2/3/4-style report.
-pub fn print_optimization_table(kind: GateSetKind, scale: &Scale, rows: &[CircuitRow], paper_geo_mean: f64) {
+pub fn print_optimization_table(
+    kind: GateSetKind,
+    scale: &Scale,
+    rows: &[CircuitRow],
+    paper_geo_mean: f64,
+) {
     println!(
         "== {} gate set ({} scale: ECC n={}, q={}, timeout={:?}) ==",
         kind.name(),
@@ -291,18 +306,27 @@ pub fn print_optimization_table(kind: GateSetKind, scale: &Scale, rows: &[Circui
         scale.search_timeout
     );
     println!(
-        "{:<16} {:>8} {:>14} {:>12} {:>12} {:>10}",
-        "Circuit", "Orig.", "GreedyRules", "Preprocess", "Quartz", "Reduction"
+        "{:<16} {:>8} {:>14} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "Circuit",
+        "Orig.",
+        "GreedyRules",
+        "Preprocess",
+        "Quartz",
+        "Reduction",
+        "IdxSkip%",
+        "DedupHits"
     );
     for r in rows {
         println!(
-            "{:<16} {:>8} {:>14} {:>12} {:>12} {:>9.1}%",
+            "{:<16} {:>8} {:>14} {:>12} {:>12} {:>9.1}% {:>9.1}% {:>10}",
             r.name,
             r.original,
             r.greedy_baseline,
             r.preprocessed,
             r.quartz,
-            100.0 * (1.0 - r.quartz as f64 / r.original.max(1) as f64)
+            100.0 * (1.0 - r.quartz as f64 / r.original.max(1) as f64),
+            100.0 * r.search.dispatch_skip_rate(),
+            r.search.dedup_hits
         );
     }
     let preprocess_red = geo_mean_reduction(rows, |r| r.preprocessed);
@@ -361,7 +385,11 @@ pub struct GeneratorRow {
 
 /// Runs the generator for a range of n values and collects the metrics of
 /// Tables 5, 6 and 8.
-pub fn run_generator_experiment(kind: GateSetKind, q: usize, n_values: &[usize]) -> Vec<GeneratorRow> {
+pub fn run_generator_experiment(
+    kind: GateSetKind,
+    q: usize,
+    n_values: &[usize],
+) -> Vec<GeneratorRow> {
     let m = kind.num_params();
     let gate_set = kind.gate_set();
     let spec = quartz_ir::ExprSpec::standard(m);
@@ -415,7 +443,10 @@ pub fn print_generator_table(kind: GateSetKind, rows: &[GeneratorRow]) {
 
 /// Prints a Table 6-style pruning report.
 pub fn print_pruning_table(kind: GateSetKind, rows: &[GeneratorRow]) {
-    println!("== Circuits considered for the {} gate set (Table 6) ==", kind.name());
+    println!(
+        "== Circuits considered for the {} gate set (Table 6) ==",
+        kind.name()
+    );
     println!(
         "{:>3} {:>18} {:>12} {:>16} {:>18}",
         "n", "Possible", "RepGen", "+ECC Simplify", "+Common Subcircuit"
@@ -423,7 +454,11 @@ pub fn print_pruning_table(kind: GateSetKind, rows: &[GeneratorRow]) {
     for r in rows {
         println!(
             "{:>3} {:>18} {:>12} {:>16} {:>18}",
-            r.n, r.possible_circuits, r.circuits_considered, r.after_simplification, r.after_common_subcircuit
+            r.n,
+            r.possible_circuits,
+            r.circuits_considered,
+            r.after_simplification,
+            r.after_common_subcircuit
         );
     }
     println!();
@@ -467,6 +502,9 @@ mod tests {
             circuits_seen: 0,
             elapsed: Duration::ZERO,
             improvement_trace: vec![],
+            match_attempts: 0,
+            match_skips: 0,
+            dedup_hits: 0,
         };
         let rows = vec![CircuitRow {
             name: "x",
@@ -486,5 +524,90 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!(rows[1].transformations >= rows[0].transformations);
         assert!(rows[1].possible_circuits > rows[0].possible_circuits);
+    }
+
+    /// Acceptance check for the indexed dispatch layer: on QFT-8 (which
+    /// contains no X gates) the index must attempt strictly fewer pattern
+    /// matches than the linear scan while reaching the same best cost.
+    #[test]
+    fn indexed_dispatch_attempts_fewer_matches_on_qft8() {
+        let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+        let qft = quartz_circuits::approximate_qft(8);
+        let config = SearchConfig {
+            timeout: Duration::from_secs(120),
+            max_iterations: 8,
+            ..SearchConfig::default()
+        };
+        let indexed = Optimizer::from_ecc_set(&ecc_set, config.clone()).optimize(&qft);
+        let linear = Optimizer::from_ecc_set(
+            &ecc_set,
+            SearchConfig {
+                use_index: false,
+                ..config
+            },
+        )
+        .optimize(&qft);
+        assert!(
+            indexed.best_cost <= linear.best_cost,
+            "indexed search found a worse circuit: {} vs {}",
+            indexed.best_cost,
+            linear.best_cost
+        );
+        assert!(
+            indexed.match_attempts < linear.match_attempts,
+            "index did not reduce match attempts: {} vs {}",
+            indexed.match_attempts,
+            linear.match_attempts
+        );
+        assert!(indexed.match_skips > 0);
+        assert_eq!(linear.match_skips, 0);
+    }
+
+    /// Determinism of the batched parallel engine: on the NAM (2,2) suite,
+    /// sequential (`batch_size = 1`) and parallel runs reach the same best
+    /// cost, and repeating a parallel run reproduces it exactly.
+    #[test]
+    fn parallel_batched_search_matches_sequential_on_nam_suite() {
+        let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+        let sequential_config = SearchConfig {
+            timeout: Duration::from_secs(300),
+            max_iterations: 8,
+            ..SearchConfig::default()
+        };
+        let parallel_config = SearchConfig {
+            batch_size: 4,
+            num_threads: 4,
+            ..sequential_config.clone()
+        };
+        let sequential = Optimizer::from_ecc_set(&ecc_set, sequential_config);
+        let parallel = Optimizer::from_ecc_set(&ecc_set, parallel_config);
+        let suite_subset = ["tof_3", "mod5_4"].map(|name| {
+            (
+                name,
+                suite::build_clifford_t(name).expect("known benchmark"),
+            )
+        });
+        for (name, clifford_t) in suite_subset {
+            let circuit = preprocess_nam(&clifford_t);
+            let seq = sequential.optimize(&circuit);
+            let par_a = parallel.optimize(&circuit);
+            let par_b = parallel.optimize(&circuit);
+            assert_eq!(
+                seq.best_cost, par_a.best_cost,
+                "{name}: sequential and parallel best costs diverged"
+            );
+            assert_eq!(
+                par_a.best_cost, par_b.best_cost,
+                "{name}: parallel run not reproducible"
+            );
+            assert_eq!(
+                par_a.best_circuit, par_b.best_circuit,
+                "{name}: parallel run not reproducible"
+            );
+            assert_eq!(
+                par_a.circuits_seen, par_b.circuits_seen,
+                "{name}: parallel run not reproducible"
+            );
+        }
     }
 }

@@ -13,7 +13,9 @@ pub struct Builder {
 impl Builder {
     /// Creates a builder for a circuit over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Builder { circuit: Circuit::new(num_qubits, 0) }
+        Builder {
+            circuit: Circuit::new(num_qubits, 0),
+        }
     }
 
     /// Finishes and returns the circuit.
@@ -78,13 +80,15 @@ impl Builder {
 
     /// Appends an arbitrary fixed gate.
     pub fn push(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
-        self.circuit.push(Instruction::new(gate, qubits.to_vec(), vec![]));
+        self.circuit
+            .push(Instruction::new(gate, qubits.to_vec(), vec![]));
         self
     }
 
     /// Appends an Rz rotation with the given constant angle.
     pub fn rz(&mut self, qubit: usize, angle: quartz_ir::ParamExpr) -> &mut Self {
-        self.circuit.push(Instruction::new(Gate::Rz, vec![qubit], vec![angle]));
+        self.circuit
+            .push(Instruction::new(Gate::Rz, vec![qubit], vec![angle]));
         self
     }
 

@@ -58,7 +58,7 @@ pub fn tof_ladder(n: usize) -> Circuit {
 /// Panics if `n < 2`.
 pub fn barenco_tof(n: usize) -> Circuit {
     assert!(n >= 2, "barenco_tof_n needs at least two controls");
-    let num_ancilla = if n > 2 { n - 2 } else { 0 };
+    let num_ancilla = n.saturating_sub(2);
     let num_qubits = n + num_ancilla + 1;
     let target = num_qubits - 1;
     let ancilla = |i: usize| n + i;
@@ -461,7 +461,10 @@ mod tests {
                 best = (i, amp.norm());
             }
         }
-        assert!(best.1 > 1.0 - 1e-6, "output is not a computational basis state");
+        assert!(
+            best.1 > 1.0 - 1e-6,
+            "output is not a computational basis state"
+        );
         best.0
     }
 
@@ -472,7 +475,11 @@ mod tests {
             let target = c.num_qubits() - 1;
             // All controls set → target flips; one control clear → unchanged.
             let all_controls: usize = (0..n).map(|i| 1 << i).sum();
-            assert_eq!(run_classical(&c, all_controls), all_controls | (1 << target), "n={n}");
+            assert_eq!(
+                run_classical(&c, all_controls),
+                all_controls | (1 << target),
+                "n={n}"
+            );
             if n >= 3 {
                 let missing_one = all_controls & !1;
                 assert_eq!(run_classical(&c, missing_one), missing_one, "n={n}");
@@ -488,7 +495,11 @@ mod tests {
             let c = barenco_tof(n);
             let target = c.num_qubits() - 1;
             let all_controls: usize = (0..n).map(|i| 1 << i).sum();
-            assert_eq!(run_classical(&c, all_controls), all_controls | (1 << target), "n={n}");
+            assert_eq!(
+                run_classical(&c, all_controls),
+                all_controls | (1 << target),
+                "n={n}"
+            );
             assert_eq!(run_classical(&c, 0), 0, "n={n}");
             assert!(c.gate_count() > tof_ladder(n).gate_count());
         }
@@ -594,7 +605,14 @@ mod tests {
 
     #[test]
     fn fixed_size_circuits_are_nontrivial_and_classically_well_formed() {
-        for c in [mod5_4(), mod_mult_55(), mod_red_21(), adder_8(), csla_mux(3), csum_mux(9)] {
+        for c in [
+            mod5_4(),
+            mod_mult_55(),
+            mod_red_21(),
+            adder_8(),
+            csla_mux(3),
+            csum_mux(9),
+        ] {
             assert!(c.gate_count() > 10);
             assert!(c.num_qubits() >= 5);
         }

@@ -30,4 +30,7 @@ pub mod suite;
 
 pub use builders::{expand_toffolis_to_clifford_t, Builder};
 pub use qft::approximate_qft;
-pub use suite::{build_clifford_t, build_logical, full_suite, quick_suite, BENCHMARK_NAMES, QUICK_BENCHMARK_NAMES};
+pub use suite::{
+    build_clifford_t, build_logical, full_suite, quick_suite, BENCHMARK_NAMES,
+    QUICK_BENCHMARK_NAMES,
+};

@@ -96,7 +96,12 @@ pub fn build_clifford_t(name: &str) -> Option<Circuit> {
 pub fn full_suite() -> Vec<(&'static str, Circuit)> {
     BENCHMARK_NAMES
         .iter()
-        .map(|&name| (name, build_clifford_t(name).expect("all suite names are valid")))
+        .map(|&name| {
+            (
+                name,
+                build_clifford_t(name).expect("all suite names are valid"),
+            )
+        })
         .collect()
 }
 
@@ -104,7 +109,12 @@ pub fn full_suite() -> Vec<(&'static str, Circuit)> {
 pub fn quick_suite() -> Vec<(&'static str, Circuit)> {
     QUICK_BENCHMARK_NAMES
         .iter()
-        .map(|&name| (name, build_clifford_t(name).expect("all suite names are valid")))
+        .map(|&name| {
+            (
+                name,
+                build_clifford_t(name).expect("all suite names are valid"),
+            )
+        })
         .collect()
 }
 
@@ -122,7 +132,9 @@ mod tests {
                 circuit
                     .instructions()
                     .iter()
-                    .all(|i| clifford_t.contains(i.gate) && i.gate != Gate::Ccx && i.gate != Gate::Ccz),
+                    .all(|i| clifford_t.contains(i.gate)
+                        && i.gate != Gate::Ccx
+                        && i.gate != Gate::Ccz),
                 "{name} must be pure Clifford+T after expansion"
             );
         }

@@ -69,7 +69,9 @@ pub fn count_possible_circuits(
     spec: &ExprSpec,
     max_gates: usize,
 ) -> u128 {
-    count_sequences_by_size(gate_set, num_qubits, spec, max_gates).iter().sum()
+    count_sequences_by_size(gate_set, num_qubits, spec, max_gates)
+        .iter()
+        .sum()
 }
 
 #[cfg(test)]
@@ -116,7 +118,10 @@ mod tests {
         let by_size = count_sequences_by_size(&nam, 2, &spec, 3);
         assert_eq!(by_size[0], 1);
         assert_eq!(by_size[1], 16); // characteristic for q = 2
-        assert_eq!(by_size.iter().sum::<u128>(), count_possible_circuits(&nam, 2, &spec, 3));
+        assert_eq!(
+            by_size.iter().sum::<u128>(),
+            count_possible_circuits(&nam, 2, &spec, 3)
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub struct Ecc {
 impl Ecc {
     /// Creates a singleton ECC.
     pub fn singleton(circuit: Circuit) -> Self {
-        Ecc { circuits: vec![circuit] }
+        Ecc {
+            circuits: vec![circuit],
+        }
     }
 
     /// Creates an ECC from a list of circuits, making the ≺-minimal member
@@ -26,7 +28,10 @@ impl Ecc {
     ///
     /// Panics if the list is empty.
     pub fn new(mut circuits: Vec<Circuit>) -> Self {
-        assert!(!circuits.is_empty(), "an ECC must contain at least one circuit");
+        assert!(
+            !circuits.is_empty(),
+            "an ECC must contain at least one circuit"
+        );
         circuits.sort_by(|a, b| a.precedence_cmp(b));
         Ecc { circuits }
     }
@@ -103,7 +108,11 @@ pub struct EccSet {
 impl EccSet {
     /// Creates an empty ECC set.
     pub fn new(num_qubits: usize, num_params: usize) -> Self {
-        EccSet { num_qubits, num_params, eccs: Vec::new() }
+        EccSet {
+            num_qubits,
+            num_params,
+            eccs: Vec::new(),
+        }
     }
 
     /// Number of ECCs.
@@ -132,22 +141,28 @@ impl EccSet {
         EccSet {
             num_qubits: self.num_qubits,
             num_params: self.num_params,
-            eccs: self.eccs.iter().filter(|e| !e.is_singleton()).cloned().collect(),
+            eccs: self
+                .eccs
+                .iter()
+                .filter(|e| !e.is_singleton())
+                .cloned()
+                .collect(),
         }
     }
 
-    /// Serializes to a JSON string.
+    /// Serializes to a JSON string (see `crate::json` for the format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("ECC sets are always serializable")
+        crate::json::ecc_set_to_json(self)
     }
 
     /// Deserializes from a JSON string.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error message on malformed input.
+    /// Returns a description of the first syntax or shape error on malformed
+    /// input.
     pub fn from_json(json: &str) -> Result<EccSet, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        crate::json::ecc_set_from_json(json)
     }
 
     /// Writes the set as JSON to a file.
@@ -220,7 +235,11 @@ mod tests {
     #[test]
     fn ecc_set_counts() {
         let mut set = EccSet::new(2, 0);
-        set.eccs.push(Ecc::new(vec![single(Gate::H, 0), single(Gate::H, 1), single(Gate::X, 0)]));
+        set.eccs.push(Ecc::new(vec![
+            single(Gate::H, 0),
+            single(Gate::H, 1),
+            single(Gate::X, 0),
+        ]));
         set.eccs.push(Ecc::singleton(single(Gate::X, 1)));
         assert_eq!(set.len(), 2);
         assert_eq!(set.total_circuits(), 4);
@@ -231,7 +250,8 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let mut set = EccSet::new(2, 1);
-        set.eccs.push(Ecc::new(vec![single(Gate::H, 0), single(Gate::X, 0)]));
+        set.eccs
+            .push(Ecc::new(vec![single(Gate::H, 0), single(Gate::X, 0)]));
         let json = set.to_json();
         let back = EccSet::from_json(&json).unwrap();
         assert_eq!(set, back);

@@ -1,0 +1,485 @@
+//! Hand-written JSON codec for [`EccSet`].
+//!
+//! The workspace builds fully offline, so `serde_json` is unavailable; ECC
+//! sets are the only artifact that needs durable serialization (they are the
+//! product of expensive generation runs), and their shape is small and fixed,
+//! so a direct codec is both simpler and faster than a generic framework.
+//!
+//! The format matches what `serde_json` would produce for the derive
+//! annotations on these types:
+//!
+//! ```json
+//! {"num_qubits":2,"num_params":1,"eccs":[{"circuits":[
+//!   {"num_qubits":2,"num_params":1,"instructions":[
+//!     {"gate":"rz","qubits":[0],"params":[{"coeffs":[1],"const_pi4":0}]}
+//!   ]}
+//! ]}]}
+//! ```
+
+use crate::ecc::{Ecc, EccSet};
+use quartz_ir::{Circuit, Gate, Instruction, ParamExpr};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Serializes an ECC set to a JSON string.
+pub fn ecc_set_to_json(set: &EccSet) -> String {
+    let mut out = String::new();
+    write!(
+        out,
+        "{{\"num_qubits\":{},\"num_params\":{},\"eccs\":[",
+        set.num_qubits, set.num_params
+    )
+    .unwrap();
+    for (i, ecc) in set.eccs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"circuits\":[");
+        for (j, circuit) in ecc.circuits().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_circuit(&mut out, circuit);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_circuit(out: &mut String, circuit: &Circuit) {
+    write!(
+        out,
+        "{{\"num_qubits\":{},\"num_params\":{},\"instructions\":[",
+        circuit.num_qubits(),
+        circuit.num_params()
+    )
+    .unwrap();
+    for (i, instr) in circuit.instructions().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{{\"gate\":\"{}\",\"qubits\":[", instr.gate.name()).unwrap();
+        for (j, q) in instr.qubits.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write!(out, "{q}").unwrap();
+        }
+        out.push_str("],\"params\":[");
+        for (j, p) in instr.params.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"coeffs\":[");
+            for (k, c) in p.coeffs().iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write!(out, "{c}").unwrap();
+            }
+            write!(out, "],\"const_pi4\":{}}}", p.const_pi4()).unwrap();
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Deserializes an ECC set from a JSON string.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or shape error encountered.
+pub fn ecc_set_from_json(json: &str) -> Result<EccSet, String> {
+    let value = Parser::new(json).parse_document()?;
+    let obj = value.as_object("ECC set")?;
+    let num_qubits = obj.field("num_qubits")?.as_usize("num_qubits")?;
+    let num_params = obj.field("num_params")?.as_usize("num_params")?;
+    let mut set = EccSet::new(num_qubits, num_params);
+    for ecc_value in obj.field("eccs")?.as_array("eccs")? {
+        let ecc_obj = ecc_value.as_object("ECC")?;
+        let mut circuits = Vec::new();
+        for circuit_value in ecc_obj.field("circuits")?.as_array("circuits")? {
+            circuits.push(circuit_from_value(circuit_value)?);
+        }
+        if circuits.is_empty() {
+            return Err("an ECC must contain at least one circuit".to_string());
+        }
+        set.eccs.push(Ecc::new(circuits));
+    }
+    Ok(set)
+}
+
+fn circuit_from_value(value: &JsonValue) -> Result<Circuit, String> {
+    let obj = value.as_object("circuit")?;
+    let num_qubits = obj.field("num_qubits")?.as_usize("num_qubits")?;
+    let num_params = obj.field("num_params")?.as_usize("num_params")?;
+    let mut circuit = Circuit::new(num_qubits, num_params);
+    for instr_value in obj.field("instructions")?.as_array("instructions")? {
+        let instr = obj_to_instruction(instr_value, num_qubits, num_params)?;
+        circuit.push(instr);
+    }
+    Ok(circuit)
+}
+
+fn obj_to_instruction(
+    value: &JsonValue,
+    num_qubits: usize,
+    num_params: usize,
+) -> Result<Instruction, String> {
+    let obj = value.as_object("instruction")?;
+    let gate_name = obj.field("gate")?.as_str("gate")?;
+    let gate = Gate::from_name(gate_name).ok_or_else(|| format!("unknown gate {gate_name:?}"))?;
+    let mut qubits = Vec::new();
+    for q in obj.field("qubits")?.as_array("qubits")? {
+        let q = q.as_usize("qubit operand")?;
+        if q >= num_qubits {
+            return Err(format!(
+                "qubit {q} out of range for circuit with {num_qubits} qubits"
+            ));
+        }
+        if qubits.contains(&q) {
+            return Err(format!("repeated qubit operand {q} for gate {gate_name}"));
+        }
+        qubits.push(q);
+    }
+    if qubits.len() != gate.num_qubits() {
+        return Err(format!(
+            "gate {gate_name} expects {} qubit operands, got {}",
+            gate.num_qubits(),
+            qubits.len()
+        ));
+    }
+    let mut params = Vec::new();
+    for p in obj.field("params")?.as_array("params")? {
+        let p_obj = p.as_object("parameter expression")?;
+        let mut coeffs = Vec::new();
+        for c in p_obj.field("coeffs")?.as_array("coeffs")? {
+            coeffs.push(c.as_i32("parameter coefficient")?);
+        }
+        if coeffs.len() != num_params {
+            return Err(format!(
+                "parameter expression has {} coefficients, circuit has {num_params} parameters",
+                coeffs.len()
+            ));
+        }
+        let const_pi4 = p_obj.field("const_pi4")?.as_i32("const_pi4")?;
+        params.push(ParamExpr::from_parts(coeffs, const_pi4));
+    }
+    if params.len() != gate.num_params() {
+        return Err(format!(
+            "gate {gate_name} expects {} parameters, got {}",
+            gate.num_params(),
+            params.len()
+        ));
+    }
+    Ok(Instruction::new(gate, qubits, params))
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value tree and recursive-descent parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Object(Vec<(String, JsonValue)>),
+    Array(Vec<JsonValue>),
+    String(String),
+    Int(i64),
+}
+
+struct JsonObject<'a>(&'a [(String, JsonValue)]);
+
+impl JsonValue {
+    fn as_object(&self, what: &str) -> Result<JsonObject<'_>, String> {
+        match self {
+            JsonValue::Object(fields) => Ok(JsonObject(fields)),
+            other => Err(format!("expected {what} to be an object, found {other:?}")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(format!("expected {what} to be an array, found {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            other => Err(format!("expected {what} to be a string, found {other:?}")),
+        }
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize, String> {
+        match self {
+            JsonValue::Int(n) if *n >= 0 => Ok(*n as usize),
+            other => Err(format!(
+                "expected {what} to be a non-negative integer, found {other:?}"
+            )),
+        }
+    }
+
+    fn as_i32(&self, what: &str) -> Result<i32, String> {
+        match self {
+            JsonValue::Int(n) => {
+                i32::try_from(*n).map_err(|_| format!("{what} out of i32 range: {n}"))
+            }
+            other => Err(format!("expected {what} to be an integer, found {other:?}")),
+        }
+    }
+}
+
+impl JsonObject<'_> {
+    fn field(&self, name: &str) -> Result<&JsonValue, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {name:?}"))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<JsonValue, String> {
+        let value = self.parse_value()?;
+        self.skip_whitespace();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing characters at byte {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(JsonValue::String(self.parse_string()?)),
+            b'-' | b'0'..=b'9' => self.parse_int(),
+            other => Err(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut segment_start = self.pos;
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            match b {
+                b'"' | b'\\' => {
+                    // `"` and `\` are ASCII, so the segment boundaries fall on
+                    // UTF-8 character boundaries of the (already valid) input
+                    // and multi-byte characters pass through losslessly.
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[segment_start..self.pos])
+                            .expect("slices of a str between ASCII delimiters are valid UTF-8"),
+                    );
+                    self.pos += 1;
+                    if b == b'"' {
+                        return Ok(out);
+                    }
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        other => {
+                            return Err(format!("unsupported escape \\{}", other as char));
+                        }
+                    }
+                    segment_start = self.pos;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_int(&mut self) -> Result<JsonValue, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<i64>()
+            .map(JsonValue::Int)
+            .map_err(|_| format!("invalid integer {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_nesting_and_rejects_garbage() {
+        let v = Parser::new(r#"{"a":[1,-2,{"b":"x"}],"c":3}"#)
+            .parse_document()
+            .unwrap();
+        let obj = v.as_object("root").unwrap();
+        assert_eq!(obj.field("c").unwrap().as_usize("c").unwrap(), 3);
+        let arr = obj.field("a").unwrap().as_array("a").unwrap();
+        assert_eq!(arr[1].as_i32("x").unwrap(), -2);
+        assert!(Parser::new("not json").parse_document().is_err());
+        assert!(Parser::new("{\"a\":1").parse_document().is_err());
+        assert!(Parser::new("{\"a\":1} trailing").parse_document().is_err());
+    }
+
+    #[test]
+    fn strings_preserve_escapes_and_non_ascii() {
+        let v = Parser::new(r#"{"k":"π/4 → rz\n\"quoted\""}"#)
+            .parse_document()
+            .unwrap();
+        let s = v
+            .as_object("root")
+            .unwrap()
+            .field("k")
+            .unwrap()
+            .as_str("k")
+            .unwrap()
+            .to_string();
+        assert_eq!(s, "π/4 → rz\n\"quoted\"");
+        assert!(Parser::new(r#""bad \A escape""#).parse_document().is_err());
+    }
+
+    #[test]
+    fn malformed_shapes_are_reported() {
+        assert!(ecc_set_from_json("[1,2]").is_err());
+        assert!(
+            ecc_set_from_json(r#"{"num_qubits":1,"num_params":0,"eccs":[{"circuits":[]}]}"#)
+                .is_err()
+        );
+        let bad_gate = r#"{"num_qubits":1,"num_params":0,"eccs":[{"circuits":[
+            {"num_qubits":1,"num_params":0,"instructions":[{"gate":"nope","qubits":[0],"params":[]}]}
+        ]}]}"#;
+        assert!(ecc_set_from_json(bad_gate)
+            .unwrap_err()
+            .contains("unknown gate"));
+        let bad_arity = r#"{"num_qubits":2,"num_params":0,"eccs":[{"circuits":[
+            {"num_qubits":2,"num_params":0,"instructions":[{"gate":"cx","qubits":[0],"params":[]}]}
+        ]}]}"#;
+        assert!(ecc_set_from_json(bad_arity)
+            .unwrap_err()
+            .contains("qubit operands"));
+    }
+}

@@ -32,6 +32,7 @@
 
 mod count;
 mod ecc;
+mod json;
 mod prune;
 mod repgen;
 

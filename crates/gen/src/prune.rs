@@ -95,7 +95,10 @@ fn simplify_ecc(ecc: &Ecc) -> Ecc {
 
     let members: Vec<Circuit> = circuits
         .iter()
-        .map(|c| c.remap_qubits(&qubit_map, new_num_qubits).remap_params(&param_map, new_num_params))
+        .map(|c| {
+            c.remap_qubits(&qubit_map, new_num_qubits)
+                .remap_params(&param_map, new_num_params)
+        })
         .collect();
     Ecc::new(members)
 }
@@ -258,11 +261,27 @@ mod tests {
         let make = |first: usize, second: usize| {
             let m = 2;
             let mut a = Circuit::new(1, m);
-            a.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(first, m)]));
-            a.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(second, m)]));
+            a.push(Instruction::new(
+                Gate::Rz,
+                vec![0],
+                vec![ParamExpr::var(first, m)],
+            ));
+            a.push(Instruction::new(
+                Gate::Rz,
+                vec![0],
+                vec![ParamExpr::var(second, m)],
+            ));
             let mut b = Circuit::new(1, m);
-            b.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(second, m)]));
-            b.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(first, m)]));
+            b.push(Instruction::new(
+                Gate::Rz,
+                vec![0],
+                vec![ParamExpr::var(second, m)],
+            ));
+            b.push(Instruction::new(
+                Gate::Rz,
+                vec![0],
+                vec![ParamExpr::var(first, m)],
+            ));
             Ecc::new(vec![a, b])
         };
         let mut set = EccSet::new(1, 2);
@@ -317,9 +336,15 @@ mod tests {
     #[test]
     fn full_prune_pipeline_counts() {
         let mut set = EccSet::new(2, 0);
-        set.eccs.push(Ecc::new(vec![h(0, 2).appended(Instruction::new(Gate::H, vec![0], vec![])), Circuit::new(2, 0)]));
+        set.eccs.push(Ecc::new(vec![
+            h(0, 2).appended(Instruction::new(Gate::H, vec![0], vec![])),
+            Circuit::new(2, 0),
+        ]));
         let (pruned, stats) = prune(&set);
         assert_eq!(stats.circuits_before, 2);
-        assert_eq!(pruned.total_circuits(), stats.circuits_after_common_subcircuit);
+        assert_eq!(
+            pruned.total_circuits(),
+            stats.circuits_after_common_subcircuit
+        );
     }
 }

@@ -110,7 +110,9 @@ impl Generator {
         let ctx = FingerprintContext::new(cfg.num_qubits, cfg.num_params, cfg.seed);
         let mut verifier = Verifier::new(cfg.verifier.clone());
 
-        let instructions = self.gate_set.enumerate_instructions(cfg.num_qubits, &cfg.spec);
+        let instructions = self
+            .gate_set
+            .enumerate_instructions(cfg.num_qubits, &cfg.spec);
         let characteristic = instructions.len();
 
         // D: fingerprint key → ECC indices present in that bucket.
@@ -192,7 +194,11 @@ impl Generator {
         }
 
         let mut result = EccSet::new(cfg.num_qubits, cfg.num_params);
-        result.eccs = classes.iter().filter(|e| !e.is_singleton()).cloned().collect();
+        result.eccs = classes
+            .iter()
+            .filter(|e| !e.is_singleton())
+            .cloned()
+            .collect();
 
         let stats = GenStats {
             circuits_considered,
@@ -267,7 +273,10 @@ mod tests {
         assert!(set.num_transformations() > 0);
         assert!(set.num_transformations() < 1000);
         // Every ECC contains circuits of at most 2 gates.
-        assert!(set.eccs.iter().all(|e| e.circuits().iter().all(|c| c.gate_count() <= 2)));
+        assert!(set
+            .eccs
+            .iter()
+            .all(|e| e.circuits().iter().all(|c| c.gate_count() <= 2)));
     }
 
     #[test]

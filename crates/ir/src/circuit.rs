@@ -6,7 +6,7 @@
 //! representations, which RepGen handles through its representative
 //! mechanism.
 
-use crate::gate::Gate;
+use crate::gate::{Gate, GateHistogram};
 use crate::param::ParamExpr;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -33,15 +33,27 @@ impl Instruction {
     /// Panics if the number of qubits or parameters does not match the gate,
     /// or if a qubit operand is repeated.
     pub fn new(gate: Gate, qubits: Vec<usize>, params: Vec<ParamExpr>) -> Self {
-        assert_eq!(qubits.len(), gate.num_qubits(), "wrong number of qubit operands for {gate}");
-        assert_eq!(params.len(), gate.num_params(), "wrong number of parameters for {gate}");
+        assert_eq!(
+            qubits.len(),
+            gate.num_qubits(),
+            "wrong number of qubit operands for {gate}"
+        );
+        assert_eq!(
+            params.len(),
+            gate.num_params(),
+            "wrong number of parameters for {gate}"
+        );
         for (i, q) in qubits.iter().enumerate() {
             assert!(
                 !qubits[..i].contains(q),
                 "repeated qubit operand {q} for gate {gate}"
             );
         }
-        Instruction { gate, qubits, params }
+        Instruction {
+            gate,
+            qubits,
+            params,
+        }
     }
 
     /// Parameter indices used by this instruction's arguments.
@@ -83,13 +95,33 @@ pub struct Circuit {
     num_qubits: usize,
     num_params: usize,
     instructions: Vec<Instruction>,
+    /// Gate-type multiset of `instructions`, maintained incrementally on
+    /// every mutation. Derived data: always equal to recounting, so the
+    /// derived `PartialEq`/`Hash` stay consistent.
+    histogram: GateHistogram,
 }
 
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits and `num_params`
     /// formal parameters.
     pub fn new(num_qubits: usize, num_params: usize) -> Self {
-        Circuit { num_qubits, num_params, instructions: Vec::new() }
+        Circuit {
+            num_qubits,
+            num_params,
+            instructions: Vec::new(),
+            histogram: GateHistogram::new(),
+        }
+    }
+
+    /// Assembles a circuit from parts, recounting the histogram.
+    fn from_parts(num_qubits: usize, num_params: usize, instructions: Vec<Instruction>) -> Self {
+        let histogram = GateHistogram::from_gates(instructions.iter().map(|i| i.gate));
+        Circuit {
+            num_qubits,
+            num_params,
+            instructions,
+            histogram,
+        }
     }
 
     /// Number of qubits.
@@ -124,9 +156,62 @@ impl Circuit {
     /// Panics if the instruction references a qubit outside the circuit.
     pub fn push(&mut self, instr: Instruction) {
         for &q in &instr.qubits {
-            assert!(q < self.num_qubits, "qubit {q} out of range for circuit with {} qubits", self.num_qubits);
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range for circuit with {} qubits",
+                self.num_qubits
+            );
         }
+        self.histogram.add(instr.gate);
         self.instructions.push(instr);
+    }
+
+    /// The gate-type multiset of the circuit, maintained incrementally.
+    pub fn gate_histogram(&self) -> &GateHistogram {
+        &self.histogram
+    }
+
+    /// A cheap 64-bit structural fingerprint of the circuit: FNV-1a over the
+    /// exact sequence form (qubit/parameter counts, gate types, operands, and
+    /// parameter expressions).
+    ///
+    /// Two circuits are equal **as sequences** iff their encodings are equal,
+    /// so equal circuits always have equal fingerprints and distinct circuits
+    /// collide with probability ≈ 2⁻⁶⁴. Different sequence representations of
+    /// the same circuit DAG hash differently — canonicalize first (see
+    /// `quartz-opt`'s `canonicalize`) to fingerprint circuits up to
+    /// commuting-gate reordering. The optimizer's seen-set stores these
+    /// fingerprints instead of whole circuit clones (DESIGN.md §2.1).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        #[inline]
+        fn mix(h: &mut u64, word: u64) {
+            for byte in word.to_le_bytes() {
+                *h ^= byte as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        mix(&mut h, self.num_qubits as u64);
+        mix(&mut h, self.num_params as u64);
+        mix(&mut h, self.instructions.len() as u64);
+        for instr in &self.instructions {
+            mix(&mut h, instr.gate.index() as u64);
+            for &q in &instr.qubits {
+                mix(&mut h, q as u64);
+            }
+            for p in &instr.params {
+                mix(&mut h, p.const_pi4() as i64 as u64);
+                // Length-prefix the variable-length coefficient list so the
+                // whole encoding stays injective.
+                mix(&mut h, p.coeffs().len() as u64);
+                for &c in p.coeffs() {
+                    mix(&mut h, c as i64 as u64);
+                }
+            }
+        }
+        h
     }
 
     /// Returns a new circuit equal to this one with `instr` appended
@@ -144,11 +229,10 @@ impl Circuit {
     /// Panics if the circuit is empty.
     pub fn drop_first(&self) -> Circuit {
         assert!(!self.is_empty(), "drop_first on an empty circuit");
-        Circuit {
-            num_qubits: self.num_qubits,
-            num_params: self.num_params,
-            instructions: self.instructions[1..].to_vec(),
-        }
+        let mut c = self.clone();
+        let removed = c.instructions.remove(0);
+        c.histogram.remove(removed.gate);
+        c
     }
 
     /// The prefix with the last gate removed (`DropLast` in the paper).
@@ -158,11 +242,10 @@ impl Circuit {
     /// Panics if the circuit is empty.
     pub fn drop_last(&self) -> Circuit {
         assert!(!self.is_empty(), "drop_last on an empty circuit");
-        Circuit {
-            num_qubits: self.num_qubits,
-            num_params: self.num_params,
-            instructions: self.instructions[..self.instructions.len() - 1].to_vec(),
-        }
+        let mut c = self.clone();
+        let removed = c.instructions.pop().expect("non-empty");
+        c.histogram.remove(removed.gate);
+        c
     }
 
     /// Number of gates of each type matching a predicate.
@@ -178,7 +261,11 @@ impl Circuit {
                 used[q] = true;
             }
         }
-        used.iter().enumerate().filter(|(_, &u)| u).map(|(i, _)| i).collect()
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Indices of formal parameters used by at least one gate argument.
@@ -191,7 +278,11 @@ impl Circuit {
                 }
             }
         }
-        used.iter().enumerate().filter(|(_, &u)| u).map(|(i, _)| i).collect()
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Returns `true` if appending an instruction using parameters
@@ -212,15 +303,23 @@ impl Circuit {
             .instructions
             .iter()
             .map(|instr| {
-                let qubits = instr.qubits.iter().map(|&q| {
-                    let nq = mapping[q];
-                    assert!(nq < new_num_qubits, "qubit remap out of range");
-                    nq
-                }).collect();
-                Instruction { gate: instr.gate, qubits, params: instr.params.clone() }
+                let qubits = instr
+                    .qubits
+                    .iter()
+                    .map(|&q| {
+                        let nq = mapping[q];
+                        assert!(nq < new_num_qubits, "qubit remap out of range");
+                        nq
+                    })
+                    .collect();
+                Instruction {
+                    gate: instr.gate,
+                    qubits,
+                    params: instr.params.clone(),
+                }
             })
             .collect();
-        Circuit { num_qubits: new_num_qubits, num_params: self.num_params, instructions }
+        Circuit::from_parts(new_num_qubits, self.num_params, instructions)
     }
 
     /// Produces a new circuit with parameters renamed according to `mapping`.
@@ -231,10 +330,14 @@ impl Circuit {
             .map(|instr| Instruction {
                 gate: instr.gate,
                 qubits: instr.qubits.clone(),
-                params: instr.params.iter().map(|p| p.remap_params(mapping, new_num_params)).collect(),
+                params: instr
+                    .params
+                    .iter()
+                    .map(|p| p.remap_params(mapping, new_num_params))
+                    .collect(),
             })
             .collect();
-        Circuit { num_qubits: self.num_qubits, num_params: new_num_params, instructions }
+        Circuit::from_parts(self.num_qubits, new_num_params, instructions)
     }
 
     /// Concatenates another circuit after this one (qubit and parameter
@@ -244,10 +347,16 @@ impl Circuit {
     ///
     /// Panics if the circuits have different numbers of qubits.
     pub fn concat(&self, other: &Circuit) -> Circuit {
-        assert_eq!(self.num_qubits, other.num_qubits, "cannot concatenate circuits over different qubit counts");
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "cannot concatenate circuits over different qubit counts"
+        );
         let mut c = self.clone();
         c.num_params = self.num_params.max(other.num_params);
-        c.instructions.extend(other.instructions.iter().cloned());
+        for instr in &other.instructions {
+            c.histogram.add(instr.gate);
+            c.instructions.push(instr.clone());
+        }
         c
     }
 
@@ -284,7 +393,13 @@ impl Circuit {
     pub fn depth(&self) -> usize {
         let mut depth_on_qubit = vec![0usize; self.num_qubits];
         for instr in &self.instructions {
-            let d = instr.qubits.iter().map(|&q| depth_on_qubit[q]).max().unwrap_or(0) + 1;
+            let d = instr
+                .qubits
+                .iter()
+                .map(|&q| depth_on_qubit[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for &q in &instr.qubits {
                 depth_on_qubit[q] = d;
             }
@@ -382,7 +497,11 @@ mod tests {
     #[test]
     fn used_params_and_conflicts() {
         let mut c = Circuit::new(1, 2);
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 2)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::var(0, 2)],
+        ));
         assert_eq!(c.used_params(), vec![0]);
         assert!(c.params_conflict(&[0]));
         assert!(!c.params_conflict(&[1]));
@@ -412,7 +531,11 @@ mod tests {
     #[test]
     fn display() {
         let mut c = Circuit::new(2, 1);
-        c.push(Instruction::new(Gate::Rz, vec![1], vec![ParamExpr::var(0, 1)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![1],
+            vec![ParamExpr::var(0, 1)],
+        ));
         c.push(cnot(0, 1));
         assert_eq!(c.to_string(), "rz(p0) q1; cx q0, q1");
         assert_eq!(Circuit::new(2, 0).to_string(), "(empty over 2 qubits)");
@@ -426,5 +549,84 @@ mod tests {
         b.push(h(1));
         let c = a.concat(&b);
         assert_eq!(c.gate_count(), 2);
+    }
+
+    /// The incrementally-maintained histogram must always agree with a fresh
+    /// recount, across every mutating operation.
+    #[test]
+    fn histogram_tracks_all_mutations() {
+        let recount =
+            |c: &Circuit| crate::GateHistogram::from_gates(c.instructions().iter().map(|i| i.gate));
+        let mut c = Circuit::new(3, 0);
+        c.push(h(0));
+        c.push(cnot(0, 1));
+        c.push(cnot(1, 2));
+        assert_eq!(*c.gate_histogram(), recount(&c));
+        assert_eq!(c.gate_histogram().count(Gate::Cnot), 2);
+        assert_eq!(c.gate_histogram().count(Gate::H), 1);
+        assert_eq!(c.gate_histogram().count(Gate::X), 0);
+        assert_eq!(c.gate_histogram().total(), 3);
+
+        for derived in [
+            c.drop_first(),
+            c.drop_last(),
+            c.appended(h(2)),
+            c.concat(&c),
+            c.remap_qubits(&[2, 1, 0], 3),
+        ] {
+            assert_eq!(*derived.gate_histogram(), recount(&derived));
+        }
+    }
+
+    #[test]
+    fn histogram_subset_reflects_multiset_inclusion() {
+        let mut small = Circuit::new(2, 0);
+        small.push(cnot(0, 1));
+        let mut big = Circuit::new(2, 0);
+        big.push(h(0));
+        big.push(cnot(0, 1));
+        big.push(cnot(1, 0));
+        assert!(small.gate_histogram().is_subset_of(big.gate_histogram()));
+        assert!(!big.gate_histogram().is_subset_of(small.gate_histogram()));
+        let present: Vec<Gate> = big.gate_histogram().present_gates().collect();
+        assert_eq!(present, vec![Gate::H, Gate::Cnot]);
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_and_respects_equality() {
+        let mut a = Circuit::new(2, 0);
+        a.push(h(0));
+        a.push(cnot(0, 1));
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Operand, gate-type, order and arity changes all change the hash.
+        let mut flipped = Circuit::new(2, 0);
+        flipped.push(h(1));
+        flipped.push(cnot(0, 1));
+        assert_ne!(a.fingerprint(), flipped.fingerprint());
+        let mut reordered = Circuit::new(2, 0);
+        reordered.push(cnot(0, 1));
+        reordered.push(h(0));
+        assert_ne!(a.fingerprint(), reordered.fingerprint());
+        assert_ne!(
+            Circuit::new(2, 0).fingerprint(),
+            Circuit::new(3, 0).fingerprint()
+        );
+
+        // Parameter expressions are part of the structure.
+        let mut rz1 = Circuit::new(1, 0);
+        rz1.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(1)],
+        ));
+        let mut rz2 = Circuit::new(1, 0);
+        rz2.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(2)],
+        ));
+        assert_ne!(rz1.fingerprint(), rz2.fingerprint());
     }
 }

@@ -99,6 +99,15 @@ pub const ALL_GATES: [Gate; 22] = [
 ];
 
 impl Gate {
+    /// Number of gate variants (the length of [`ALL_GATES`]).
+    pub const COUNT: usize = ALL_GATES.len();
+
+    /// Dense index of the gate in [`ALL_GATES`] order, usable as an array
+    /// index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Number of qubit operands.
     pub fn num_qubits(self) -> usize {
         match self {
@@ -177,7 +186,15 @@ impl Gate {
     pub fn is_diagonal(self) -> bool {
         matches!(
             self,
-            Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz | Gate::U1 | Gate::Cz | Gate::Ccz
+            Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz
+                | Gate::U1
+                | Gate::Cz
+                | Gate::Ccz
         )
     }
 
@@ -185,9 +202,15 @@ impl Gate {
     /// no parameters to express (self-inverse gates return themselves).
     pub fn fixed_inverse(self) -> Option<Gate> {
         match self {
-            Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cnot | Gate::Cz | Gate::Swap | Gate::Ccx | Gate::Ccz => {
-                Some(self)
-            }
+            Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::Cnot
+            | Gate::Cz
+            | Gate::Swap
+            | Gate::Ccx
+            | Gate::Ccz => Some(self),
             Gate::S => Some(Gate::Sdg),
             Gate::Sdg => Some(Gate::S),
             Gate::T => Some(Gate::Tdg),
@@ -205,7 +228,11 @@ impl Gate {
     /// Panics if the number of supplied parameter values does not match
     /// [`Gate::num_params`].
     pub fn numeric_matrix(self, params: &[f64]) -> Matrix<Complex64> {
-        assert_eq!(params.len(), self.num_params(), "wrong number of parameters for {self}");
+        assert_eq!(
+            params.len(),
+            self.num_params(),
+            "wrong number of parameters for {self}"
+        );
         let c = Complex64::new;
         let i = Complex64::i();
         let one = Complex64::one();
@@ -223,11 +250,17 @@ impl Gate {
             Gate::Sdg => Matrix::from_rows(vec![vec![one, zero], vec![zero, -i]]),
             Gate::T => Matrix::from_rows(vec![
                 vec![one, zero],
-                vec![zero, Complex64::from_polar_unit(std::f64::consts::FRAC_PI_4)],
+                vec![
+                    zero,
+                    Complex64::from_polar_unit(std::f64::consts::FRAC_PI_4),
+                ],
             ]),
             Gate::Tdg => Matrix::from_rows(vec![
                 vec![one, zero],
-                vec![zero, Complex64::from_polar_unit(-std::f64::consts::FRAC_PI_4)],
+                vec![
+                    zero,
+                    Complex64::from_polar_unit(-std::f64::consts::FRAC_PI_4),
+                ],
             ]),
             Gate::Rx90 => Self::rx_numeric(std::f64::consts::FRAC_PI_2),
             Gate::Rx90Neg => Self::rx_numeric(-std::f64::consts::FRAC_PI_2),
@@ -235,7 +268,10 @@ impl Gate {
             Gate::Rx => Self::rx_numeric(params[0]),
             Gate::Ry => {
                 let (s, co) = (params[0] / 2.0).sin_cos();
-                Matrix::from_rows(vec![vec![c(co, 0.0), c(-s, 0.0)], vec![c(s, 0.0), c(co, 0.0)]])
+                Matrix::from_rows(vec![
+                    vec![c(co, 0.0), c(-s, 0.0)],
+                    vec![c(s, 0.0), c(co, 0.0)],
+                ])
             }
             Gate::Rz => {
                 let half = params[0] / 2.0;
@@ -295,7 +331,11 @@ impl Gate {
                 // Operands 0,1 (bits 0,1) are controls; operand 2 (bit 2) the target.
                 let mut m = Matrix::zeros(8, 8);
                 for col in 0..8usize {
-                    let row = if col & 0b011 == 0b011 { col ^ 0b100 } else { col };
+                    let row = if col & 0b011 == 0b011 {
+                        col ^ 0b100
+                    } else {
+                        col
+                    };
                     m[(row, col)] = one;
                 }
                 m
@@ -324,8 +364,15 @@ impl Gate {
     ///
     /// Returns an error if a parameter expression cannot be represented
     /// exactly (see [`ParamExpr::half_angle`]).
-    pub fn symbolic_matrix(self, params: &[ParamExpr]) -> Result<Matrix<Poly>, UnsupportedAngleError> {
-        assert_eq!(params.len(), self.num_params(), "wrong number of parameters for {self}");
+    pub fn symbolic_matrix(
+        self,
+        params: &[ParamExpr],
+    ) -> Result<Matrix<Poly>, UnsupportedAngleError> {
+        assert_eq!(
+            params.len(),
+            self.num_params(),
+            "wrong number of parameters for {self}"
+        );
         let one = Poly::one;
         let zero = Poly::zero;
         let ci = |k: i64| Poly::constant(Cyclotomic::root_of_unity(k));
@@ -368,7 +415,10 @@ impl Gate {
             }
             Gate::U1 => {
                 let (hc, r) = params[0].full_angle();
-                Matrix::from_rows(vec![vec![one(), zero()], vec![zero(), Poly::exp_i_angle(&hc, r)]])
+                Matrix::from_rows(vec![
+                    vec![one(), zero()],
+                    vec![zero(), Poly::exp_i_angle(&hc, r)],
+                ])
             }
             Gate::U2 => {
                 let (phc, pr) = params[0].full_angle();
@@ -376,7 +426,9 @@ impl Gate {
                 let sum_hc: Vec<i64> = {
                     let n = phc.len().max(lhc.len());
                     (0..n)
-                        .map(|i| phc.get(i).copied().unwrap_or(0) + lhc.get(i).copied().unwrap_or(0))
+                        .map(|i| {
+                            phc.get(i).copied().unwrap_or(0) + lhc.get(i).copied().unwrap_or(0)
+                        })
                         .collect()
                 };
                 let e_lam = Poly::exp_i_angle(&lhc, lr);
@@ -394,7 +446,9 @@ impl Gate {
                 let sum_hc: Vec<i64> = {
                     let n = phc.len().max(lhc.len());
                     (0..n)
-                        .map(|i| phc.get(i).copied().unwrap_or(0) + lhc.get(i).copied().unwrap_or(0))
+                        .map(|i| {
+                            phc.get(i).copied().unwrap_or(0) + lhc.get(i).copied().unwrap_or(0)
+                        })
                         .collect()
                 };
                 let cos = Poly::cos_angle(&thc, tr);
@@ -431,7 +485,11 @@ impl Gate {
             Gate::Ccx => {
                 let mut m = Matrix::zeros(8, 8);
                 for col in 0..8usize {
-                    let row = if col & 0b011 == 0b011 { col ^ 0b100 } else { col };
+                    let row = if col & 0b011 == 0b011 {
+                        col ^ 0b100
+                    } else {
+                        col
+                    };
                     m[(row, col)] = one();
                 }
                 m
@@ -471,6 +529,80 @@ impl Gate {
 impl fmt::Display for Gate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name())
+    }
+}
+
+/// A multiset of gate types: how many times each [`Gate`] occurs.
+///
+/// The optimizer's dispatch layer uses histograms to skip transformations
+/// whose target pattern cannot possibly match a circuit — a pattern can only
+/// match when its histogram is a subset of the circuit's (every gate the
+/// pattern needs occurs at least as often in the circuit). Circuits maintain
+/// their histogram incrementally, so the subset test is O([`Gate::COUNT`])
+/// with no circuit traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GateHistogram {
+    counts: [u32; Gate::COUNT],
+}
+
+impl GateHistogram {
+    /// The empty histogram.
+    pub fn new() -> Self {
+        GateHistogram::default()
+    }
+
+    /// The histogram of a sequence of gate types.
+    pub fn from_gates(gates: impl IntoIterator<Item = Gate>) -> Self {
+        let mut h = GateHistogram::new();
+        for g in gates {
+            h.add(g);
+        }
+        h
+    }
+
+    /// Records one more occurrence of `gate`.
+    pub fn add(&mut self, gate: Gate) {
+        self.counts[gate.index()] += 1;
+    }
+
+    /// Removes one occurrence of `gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count for `gate` is zero.
+    pub fn remove(&mut self, gate: Gate) {
+        assert!(
+            self.counts[gate.index()] > 0,
+            "removing {gate} from a histogram without it"
+        );
+        self.counts[gate.index()] -= 1;
+    }
+
+    /// Number of occurrences of `gate`.
+    pub fn count(&self, gate: Gate) -> usize {
+        self.counts[gate.index()] as usize
+    }
+
+    /// Total number of gate occurrences.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Returns `true` when every gate type occurs in `other` at least as
+    /// often as here (multiset inclusion).
+    pub fn is_subset_of(&self, other: &GateHistogram) -> bool {
+        self.counts
+            .iter()
+            .zip(other.counts.iter())
+            .all(|(mine, theirs)| mine <= theirs)
+    }
+
+    /// Gate types with a nonzero count, in [`ALL_GATES`] order.
+    pub fn present_gates(&self) -> impl Iterator<Item = Gate> + '_ {
+        ALL_GATES
+            .iter()
+            .copied()
+            .filter(|g| self.counts[g.index()] > 0)
     }
 }
 
@@ -613,12 +745,16 @@ mod tests {
         let p1 = ParamExpr::var(1, m);
         let p2 = ParamExpr::var(2, m);
         for &a in &[0.0, 0.7, -2.3] {
-            check(Gate::Rz, &[p0.clone()], &[a, 0.0, 0.0]);
-            check(Gate::Rx, &[p0.clone()], &[a, 0.0, 0.0]);
-            check(Gate::Ry, &[p0.clone()], &[a, 0.0, 0.0]);
-            check(Gate::U1, &[p0.clone()], &[a, 0.0, 0.0]);
+            check(Gate::Rz, std::slice::from_ref(&p0), &[a, 0.0, 0.0]);
+            check(Gate::Rx, std::slice::from_ref(&p0), &[a, 0.0, 0.0]);
+            check(Gate::Ry, std::slice::from_ref(&p0), &[a, 0.0, 0.0]);
+            check(Gate::U1, std::slice::from_ref(&p0), &[a, 0.0, 0.0]);
             check(Gate::U2, &[p0.clone(), p1.clone()], &[a, 1.1, 0.0]);
-            check(Gate::U3, &[p0.clone(), p1.clone(), p2.clone()], &[a, 1.1, -0.4]);
+            check(
+                Gate::U3,
+                &[p0.clone(), p1.clone(), p2.clone()],
+                &[a, 1.1, -0.4],
+            );
         }
     }
 
@@ -659,7 +795,10 @@ mod tests {
             let m = g.numeric_matrix(&[]);
             for (r, c, v) in m.entries() {
                 if r != c {
-                    assert!(v.norm() < 1e-12, "{g} flagged diagonal but has off-diagonal entry");
+                    assert!(
+                        v.norm() < 1e-12,
+                        "{g} flagged diagonal but has off-diagonal entry"
+                    );
                 }
             }
         }

@@ -28,7 +28,10 @@ pub struct GateSet {
 impl GateSet {
     /// Creates a custom gate set.
     pub fn new(name: impl Into<String>, gates: Vec<Gate>) -> Self {
-        GateSet { name: name.into(), gates }
+        GateSet {
+            name: name.into(),
+            gates,
+        }
     }
 
     /// The Nam gate set {H, X, Rz(λ), CNOT} (Nam et al. / voqc).
@@ -54,7 +57,17 @@ impl GateSet {
     pub fn clifford_t() -> Self {
         GateSet::new(
             "CliffordT",
-            vec![Gate::H, Gate::T, Gate::Tdg, Gate::S, Gate::Sdg, Gate::X, Gate::Cnot, Gate::Ccx, Gate::Ccz],
+            vec![
+                Gate::H,
+                Gate::T,
+                Gate::Tdg,
+                Gate::S,
+                Gate::Sdg,
+                Gate::X,
+                Gate::Cnot,
+                Gate::Ccx,
+                Gate::Ccz,
+            ],
         )
     }
 

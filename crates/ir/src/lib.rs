@@ -49,7 +49,7 @@ pub mod qasm;
 pub mod semantics;
 
 pub use circuit::{Circuit, Instruction};
-pub use gate::{Gate, ALL_GATES};
+pub use gate::{Gate, GateHistogram, ALL_GATES};
 pub use gateset::GateSet;
 pub use param::{ExprSpec, ParamExpr, UnsupportedAngleError};
 pub use qasm::{parse_qasm, to_qasm, QasmError};

@@ -26,7 +26,11 @@ pub struct UnsupportedAngleError {
 
 impl fmt::Display for UnsupportedAngleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unsupported angle in exact symbolic semantics: {}", self.message)
+        write!(
+            f,
+            "unsupported angle in exact symbolic semantics: {}",
+            self.message
+        )
     }
 }
 
@@ -57,7 +61,10 @@ pub struct ParamExpr {
 impl ParamExpr {
     /// The zero angle with `num_params` formal parameters.
     pub fn zero(num_params: usize) -> Self {
-        ParamExpr { coeffs: vec![0; num_params], const_pi4: 0 }
+        ParamExpr {
+            coeffs: vec![0; num_params],
+            const_pi4: 0,
+        }
     }
 
     /// The single parameter `pᵢ` out of `num_params` formal parameters.
@@ -78,7 +85,10 @@ impl ParamExpr {
         assert!(index < num_params, "parameter index out of range");
         let mut coeffs = vec![0; num_params];
         coeffs[index] = k;
-        ParamExpr { coeffs, const_pi4: 0 }
+        ParamExpr {
+            coeffs,
+            const_pi4: 0,
+        }
     }
 
     /// The expression `pᵢ + pⱼ`.
@@ -88,21 +98,40 @@ impl ParamExpr {
     /// Panics if either index is out of range or `i == j`.
     pub fn sum_vars(i: usize, j: usize, num_params: usize) -> Self {
         assert!(i != j, "use scaled_var for 2*p_i");
-        assert!(i < num_params && j < num_params, "parameter index out of range");
+        assert!(
+            i < num_params && j < num_params,
+            "parameter index out of range"
+        );
         let mut coeffs = vec![0; num_params];
         coeffs[i] = 1;
         coeffs[j] = 1;
-        ParamExpr { coeffs, const_pi4: 0 }
+        ParamExpr {
+            coeffs,
+            const_pi4: 0,
+        }
     }
 
     /// A constant angle `r·π/4` (with no formal parameters).
     pub fn constant_pi4(r: i32) -> Self {
-        ParamExpr { coeffs: Vec::new(), const_pi4: r }
+        ParamExpr {
+            coeffs: Vec::new(),
+            const_pi4: r,
+        }
     }
 
     /// A constant angle `r·π/4` padded to `num_params` formal parameters.
     pub fn constant_pi4_with_params(r: i32, num_params: usize) -> Self {
-        ParamExpr { coeffs: vec![0; num_params], const_pi4: r }
+        ParamExpr {
+            coeffs: vec![0; num_params],
+            const_pi4: r,
+        }
+    }
+
+    /// Reassembles an expression from its raw representation, the inverse of
+    /// [`ParamExpr::coeffs`] + [`ParamExpr::const_pi4`] (used by serialization
+    /// codecs).
+    pub fn from_parts(coeffs: Vec<i32>, const_pi4: i32) -> Self {
+        ParamExpr { coeffs, const_pi4 }
     }
 
     /// The per-parameter integer coefficients.
@@ -140,9 +169,13 @@ impl ParamExpr {
         let n = self.coeffs.len().max(other.coeffs.len());
         let mut coeffs = vec![0; n];
         for (i, c) in coeffs.iter_mut().enumerate() {
-            *c = self.coeffs.get(i).copied().unwrap_or(0) + other.coeffs.get(i).copied().unwrap_or(0);
+            *c = self.coeffs.get(i).copied().unwrap_or(0)
+                + other.coeffs.get(i).copied().unwrap_or(0);
         }
-        ParamExpr { coeffs, const_pi4: self.const_pi4 + other.const_pi4 }
+        ParamExpr {
+            coeffs,
+            const_pi4: self.const_pi4 + other.const_pi4,
+        }
     }
 
     /// Negation.
@@ -209,7 +242,10 @@ impl ParamExpr {
                 coeffs[j] += c;
             }
         }
-        ParamExpr { coeffs, const_pi4: self.const_pi4 }
+        ParamExpr {
+            coeffs,
+            const_pi4: self.const_pi4,
+        }
     }
 
     /// Numeric value of the angle given concrete parameter values (radians).
@@ -227,7 +263,10 @@ impl ParamExpr {
     /// returns `(half_coeffs, pi4_units)` such that
     /// `θ = Σ half_coeffs[i]·hᵢ + pi4_units·π/4`.
     pub fn full_angle(&self) -> (Vec<i64>, i64) {
-        (self.coeffs.iter().map(|&c| 2 * c as i64).collect(), self.const_pi4 as i64)
+        (
+            self.coeffs.iter().map(|&c| 2 * c as i64).collect(),
+            self.const_pi4 as i64,
+        )
     }
 
     /// Half the angle (`θ/2`) expressed over half-parameters.
@@ -245,7 +284,10 @@ impl ParamExpr {
                 ),
             });
         }
-        Ok((self.coeffs.iter().map(|&c| c as i64).collect(), (self.const_pi4 / 2) as i64))
+        Ok((
+            self.coeffs.iter().map(|&c| c as i64).collect(),
+            (self.const_pi4 / 2) as i64,
+        ))
     }
 }
 
@@ -307,13 +349,23 @@ impl ExprSpec {
                 expressions.push(ParamExpr::sum_vars(i, j, num_params));
             }
         }
-        ExprSpec { num_params, expressions, single_use: true }
+        ExprSpec {
+            num_params,
+            expressions,
+            single_use: true,
+        }
     }
 
     /// A specification allowing only the plain parameters `pᵢ`.
     pub fn vars_only(num_params: usize) -> Self {
-        let expressions = (0..num_params).map(|i| ParamExpr::var(i, num_params)).collect();
-        ExprSpec { num_params, expressions, single_use: true }
+        let expressions = (0..num_params)
+            .map(|i| ParamExpr::var(i, num_params))
+            .collect();
+        ExprSpec {
+            num_params,
+            expressions,
+            single_use: true,
+        }
     }
 
     /// Number of allowed expressions.

@@ -21,7 +21,11 @@ pub struct QasmError {
 
 impl std::fmt::Display for QasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -49,7 +53,9 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
             if stmt.is_empty() {
                 continue;
             }
-            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") || stmt.starts_with("creg")
+            if stmt.starts_with("OPENQASM")
+                || stmt.starts_with("include")
+                || stmt.starts_with("creg")
                 || stmt.starts_with("barrier")
             {
                 continue;
@@ -57,7 +63,10 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
             if let Some(rest) = stmt.strip_prefix("qreg") {
                 let (name, size) = parse_register(rest.trim(), line_number)?;
                 if num_qubits.is_some() {
-                    return Err(err(line_number, "multiple qreg declarations are not supported"));
+                    return Err(err(
+                        line_number,
+                        "multiple qreg declarations are not supported",
+                    ));
                 }
                 num_qubits = Some(size);
                 register = Some(name);
@@ -80,7 +89,10 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
 }
 
 fn err(line: usize, message: impl Into<String>) -> QasmError {
-    QasmError { line, message: message.into() }
+    QasmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -102,14 +114,24 @@ fn parse_register(rest: &str, line: usize) -> Result<(String, usize), QasmError>
     Ok((name, size))
 }
 
-fn parse_gate_statement(stmt: &str, reg: &str, num_qubits: usize, line: usize) -> Result<Instruction, QasmError> {
+fn parse_gate_statement(
+    stmt: &str,
+    reg: &str,
+    num_qubits: usize,
+    line: usize,
+) -> Result<Instruction, QasmError> {
     // Split off the gate name and optional parameter list.
     let (head, args_part) = match stmt.find(|c: char| c.is_whitespace()) {
-        Some(pos) if !stmt[..pos].contains('(') => (stmt[..pos].to_string(), stmt[pos..].trim().to_string()),
+        Some(pos) if !stmt[..pos].contains('(') => {
+            (stmt[..pos].to_string(), stmt[pos..].trim().to_string())
+        }
         _ => {
             // Either "name(params) args" or malformed; find the closing paren.
             match stmt.find(')') {
-                Some(close) => (stmt[..=close].to_string(), stmt[close + 1..].trim().to_string()),
+                Some(close) => (
+                    stmt[..=close].to_string(),
+                    stmt[close + 1..].trim().to_string(),
+                ),
                 None => return Err(err(line, format!("cannot parse gate statement {stmt:?}"))),
             }
         }
@@ -117,7 +139,9 @@ fn parse_gate_statement(stmt: &str, reg: &str, num_qubits: usize, line: usize) -
 
     let (name, params) = match head.find('(') {
         Some(open) => {
-            let close = head.rfind(')').ok_or_else(|| err(line, "unbalanced parentheses"))?;
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| err(line, "unbalanced parentheses"))?;
             let name = head[..open].trim().to_string();
             let params_src = &head[open + 1..close];
             let params: Result<Vec<ParamExpr>, QasmError> = params_src
@@ -131,7 +155,14 @@ fn parse_gate_statement(stmt: &str, reg: &str, num_qubits: usize, line: usize) -
 
     let gate = lookup_gate(&name).ok_or_else(|| err(line, format!("unknown gate {name:?}")))?;
     if params.len() != gate.num_params() {
-        return Err(err(line, format!("gate {name} expects {} parameter(s), got {}", gate.num_params(), params.len())));
+        return Err(err(
+            line,
+            format!(
+                "gate {name} expects {} parameter(s), got {}",
+                gate.num_params(),
+                params.len()
+            ),
+        ));
     }
 
     let mut qubits = Vec::new();
@@ -140,8 +171,12 @@ fn parse_gate_statement(stmt: &str, reg: &str, num_qubits: usize, line: usize) -
         if arg.is_empty() {
             continue;
         }
-        let open = arg.find('[').ok_or_else(|| err(line, format!("expected qubit reference, got {arg:?}")))?;
-        let close = arg.find(']').ok_or_else(|| err(line, "malformed qubit reference"))?;
+        let open = arg
+            .find('[')
+            .ok_or_else(|| err(line, format!("expected qubit reference, got {arg:?}")))?;
+        let close = arg
+            .find(']')
+            .ok_or_else(|| err(line, "malformed qubit reference"))?;
         let rname = arg[..open].trim();
         if rname != reg {
             return Err(err(line, format!("unknown register {rname:?}")));
@@ -156,7 +191,14 @@ fn parse_gate_statement(stmt: &str, reg: &str, num_qubits: usize, line: usize) -
         qubits.push(idx);
     }
     if qubits.len() != gate.num_qubits() {
-        return Err(err(line, format!("gate {name} expects {} qubit(s), got {}", gate.num_qubits(), qubits.len())));
+        return Err(err(
+            line,
+            format!(
+                "gate {name} expects {} qubit(s), got {}",
+                gate.num_qubits(),
+                qubits.len()
+            ),
+        ));
     }
     Ok(Instruction::new(gate, qubits, params))
 }
@@ -192,9 +234,13 @@ fn parse_angle(src: &str, line: usize) -> Result<ParamExpr, QasmError> {
     } else if body == "pi/4" {
         Some(1)
     } else if let Some(mult) = body.strip_suffix("*pi") {
-        parse_multiplier(mult).map(|q| q * 4.0).and_then(int_if_whole)
+        parse_multiplier(mult)
+            .map(|q| q * 4.0)
+            .and_then(int_if_whole)
     } else if let Some(mult) = body.strip_suffix("*pi/2") {
-        parse_multiplier(mult).map(|q| q * 2.0).and_then(int_if_whole)
+        parse_multiplier(mult)
+            .map(|q| q * 2.0)
+            .and_then(int_if_whole)
     } else if let Some(mult) = body.strip_suffix("*pi/4") {
         parse_multiplier(mult).and_then(int_if_whole)
     } else if let Ok(v) = body.parse::<f64>() {

@@ -77,7 +77,11 @@ pub fn apply_instruction(state: &mut StateVector, instr: &Instruction, param_val
 
 /// Applies a whole circuit to a state vector, returning the new state.
 pub fn apply_circuit(circuit: &Circuit, state: &StateVector, param_values: &[f64]) -> StateVector {
-    assert_eq!(state.len(), 1usize << circuit.num_qubits(), "state dimension mismatch");
+    assert_eq!(
+        state.len(),
+        1usize << circuit.num_qubits(),
+        "state dimension mismatch"
+    );
     let mut out = state.clone();
     for instr in circuit.instructions() {
         apply_instruction(&mut out, instr, param_values);
@@ -111,7 +115,11 @@ pub fn circuit_unitary(circuit: &Circuit, param_values: &[f64]) -> Matrix<Comple
 ///
 /// Panics if the vectors have different lengths.
 pub fn inner_product(a: &StateVector, b: &StateVector) -> Complex64 {
-    assert_eq!(a.len(), b.len(), "state dimension mismatch in inner product");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "state dimension mismatch in inner product"
+    );
     let mut acc = Complex64::zero();
     for (x, y) in a.iter().zip(b.iter()) {
         acc += x.conj() * *y;
@@ -181,7 +189,9 @@ impl FingerprintContext {
         };
         let mut uniform = move || (next() >> 11) as f64 / (1u64 << 53) as f64;
 
-        let param_values: Vec<f64> = (0..num_params).map(|_| uniform() * std::f64::consts::TAU).collect();
+        let param_values: Vec<f64> = (0..num_params)
+            .map(|_| uniform() * std::f64::consts::TAU)
+            .collect();
         let dim = 1usize << num_qubits;
         let random_state = |uniform: &mut dyn FnMut() -> f64| {
             let mut v: StateVector = (0..dim)
@@ -195,7 +205,12 @@ impl FingerprintContext {
         };
         let psi0 = random_state(&mut uniform);
         let psi1 = random_state(&mut uniform);
-        FingerprintContext { num_qubits, param_values, psi0, psi1 }
+        FingerprintContext {
+            num_qubits,
+            param_values,
+            psi0,
+            psi1,
+        }
     }
 
     /// Number of qubits the context was built for.
@@ -206,7 +221,11 @@ impl FingerprintContext {
     /// The complex amplitude ⟨ψ₀| ⟦C⟧(p⃗₀) |ψ₁⟩ (used both for fingerprints
     /// and for the phase-factor candidate search of the verifier).
     pub fn amplitude(&self, circuit: &Circuit) -> Complex64 {
-        assert_eq!(circuit.num_qubits(), self.num_qubits, "fingerprint context qubit count mismatch");
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "fingerprint context qubit count mismatch"
+        );
         let out = apply_circuit(circuit, &self.psi1, &self.param_values);
         inner_product(&self.psi0, &out)
     }
@@ -257,7 +276,11 @@ mod tests {
         c.push(instr(Gate::Ccx, &[0, 1, 2]));
         for input in 0..8usize {
             let out = apply_circuit(&c, &basis_state(3, input), &[]);
-            let expected = if input & 0b011 == 0b011 { input ^ 0b100 } else { input };
+            let expected = if input & 0b011 == 0b011 {
+                input ^ 0b100
+            } else {
+                input
+            };
             assert!((out[expected].norm() - 1.0).abs() < 1e-12, "input {input}");
         }
     }
@@ -265,7 +288,11 @@ mod tests {
     #[test]
     fn circuit_unitary_is_unitary_and_composes() {
         let mut c = Circuit::new(2, 1);
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 1)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::var(0, 1)],
+        ));
         c.push(instr(Gate::H, &[1]));
         c.push(instr(Gate::Cnot, &[1, 0]));
         let u = circuit_unitary(&c, &[0.37]);
@@ -296,9 +323,17 @@ mod tests {
     #[test]
     fn rz_and_u1_equivalent_up_to_phase() {
         let mut rz = Circuit::new(1, 1);
-        rz.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 1)]));
+        rz.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::var(0, 1)],
+        ));
         let mut u1 = Circuit::new(1, 1);
-        u1.push(Instruction::new(Gate::U1, vec![0], vec![ParamExpr::var(0, 1)]));
+        u1.push(Instruction::new(
+            Gate::U1,
+            vec![0],
+            vec![ParamExpr::var(0, 1)],
+        ));
         for &theta in &[0.0, 0.5, -2.2, 3.9] {
             assert!(equivalent_up_to_phase(&rz, &u1, &[theta], 1e-10));
         }
@@ -309,11 +344,19 @@ mod tests {
         let ctx = FingerprintContext::new(2, 1, 42);
         // Rz(p0) on qubit 0 commutes with X on qubit 1.
         let mut a = Circuit::new(2, 1);
-        a.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 1)]));
+        a.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::var(0, 1)],
+        ));
         a.push(instr(Gate::X, &[1]));
         let mut b = Circuit::new(2, 1);
         b.push(instr(Gate::X, &[1]));
-        b.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 1)]));
+        b.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::var(0, 1)],
+        ));
         assert!((ctx.fingerprint(&a) - ctx.fingerprint(&b)).abs() < 1e-12);
     }
 

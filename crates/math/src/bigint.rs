@@ -57,7 +57,10 @@ pub struct BigInt {
 impl BigInt {
     /// The integer zero.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            limbs: Vec::new(),
+        }
     }
 
     /// The integer one.
@@ -87,7 +90,7 @@ impl BigInt {
 
     /// Returns `true` if this integer is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l % 2 == 0)
+        self.limbs.first().is_none_or(|l| l % 2 == 0)
     }
 
     /// The sign of the integer.
@@ -115,7 +118,14 @@ impl BigInt {
         if limbs.is_empty() {
             BigInt::zero()
         } else {
-            BigInt { sign: if negative { Sign::Negative } else { Sign::Positive }, limbs }
+            BigInt {
+                sign: if negative {
+                    Sign::Negative
+                } else {
+                    Sign::Positive
+                },
+                limbs,
+            }
         }
     }
 
@@ -131,7 +141,7 @@ impl BigInt {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Converts to `i64` if the value fits.
@@ -287,7 +297,11 @@ impl BigInt {
         } else {
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = if i + 1 < src.len() { src[i + 1] << (64 - bit_shift) } else { 0 };
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
                 limbs.push(lo | hi);
             }
         }
@@ -315,13 +329,23 @@ impl BigInt {
             while q.last() == Some(&0) {
                 q.pop();
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u64]
+            };
             return (q, r);
         }
         // General case: bit-by-bit long division. Numbers in this workspace
         // stay small (a few limbs), so O(n_bits * n_limbs) is fine.
-        let a_big = BigInt { sign: Sign::Positive, limbs: a.to_vec() };
-        let b_big = BigInt { sign: Sign::Positive, limbs: b.to_vec() };
+        let a_big = BigInt {
+            sign: Sign::Positive,
+            limbs: a.to_vec(),
+        };
+        let b_big = BigInt {
+            sign: Sign::Positive,
+            limbs: b.to_vec(),
+        };
         let n = a_big.bit_len();
         let mut rem = BigInt::zero();
         let mut q_limbs = vec![0u64; a.len()];
@@ -355,7 +379,10 @@ impl BigInt {
         let (q_mag, r_mag) = Self::divmod_mag(&self.limbs, &other.limbs);
         let q_neg = (self.sign == Sign::Negative) != (other.sign == Sign::Negative);
         let r_neg = self.sign == Sign::Negative;
-        (BigInt::from_limbs(q_mag, q_neg), BigInt::from_limbs(r_mag, r_neg))
+        (
+            BigInt::from_limbs(q_mag, q_neg),
+            BigInt::from_limbs(r_mag, r_neg),
+        )
     }
 
     /// Greatest common divisor (always non-negative).
@@ -402,7 +429,9 @@ impl BigInt {
         let mut acc = BigInt::zero();
         let ten = BigInt::from(10i64);
         for ch in digits.chars() {
-            let d = ch.to_digit(10).ok_or_else(|| format!("invalid digit {ch:?} in integer literal"))?;
+            let d = ch
+                .to_digit(10)
+                .ok_or_else(|| format!("invalid digit {ch:?} in integer literal"))?;
             acc = &(&acc * &ten) + &BigInt::from(d as i64);
         }
         if neg {
@@ -422,8 +451,14 @@ impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt { sign: Sign::Positive, limbs: vec![v as u64] },
-            Ordering::Less => BigInt { sign: Sign::Negative, limbs: vec![v.unsigned_abs()] },
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                limbs: vec![v as u64],
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                limbs: vec![v.unsigned_abs()],
+            },
         }
     }
 }
@@ -439,7 +474,10 @@ impl From<u64> for BigInt {
         if v == 0 {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Positive, limbs: vec![v] }
+            BigInt {
+                sign: Sign::Positive,
+                limbs: vec![v],
+            }
         }
     }
 }
@@ -756,7 +794,12 @@ mod tests {
 
     #[test]
     fn display_and_parse_round_trip() {
-        for s in ["0", "-1", "123456789012345678901234567890", "-987654321098765432109876543210"] {
+        for s in [
+            "0",
+            "-1",
+            "123456789012345678901234567890",
+            "-987654321098765432109876543210",
+        ] {
             let v = BigInt::from_decimal_str(s).unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -113,6 +113,8 @@ impl Mul for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Division via the reciprocal is the intended arithmetic here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }

@@ -40,7 +40,14 @@ pub struct Cyclotomic {
 impl Cyclotomic {
     /// The additive identity.
     pub fn zero() -> Self {
-        Cyclotomic { coeffs: [Rational::zero(), Rational::zero(), Rational::zero(), Rational::zero()] }
+        Cyclotomic {
+            coeffs: [
+                Rational::zero(),
+                Rational::zero(),
+                Rational::zero(),
+                Rational::zero(),
+            ],
+        }
     }
 
     /// The multiplicative identity.
@@ -50,7 +57,9 @@ impl Cyclotomic {
 
     /// Embeds a rational number.
     pub fn from_rational(r: Rational) -> Self {
-        Cyclotomic { coeffs: [r, Rational::zero(), Rational::zero(), Rational::zero()] }
+        Cyclotomic {
+            coeffs: [r, Rational::zero(), Rational::zero(), Rational::zero()],
+        }
     }
 
     /// Embeds a small integer.
@@ -135,7 +144,10 @@ impl Cyclotomic {
 
     /// The Galois automorphism σ_k : ζ ↦ ζᵏ for odd k ∈ {1,3,5,7}.
     pub fn galois(&self, k: u8) -> Cyclotomic {
-        assert!(k % 2 == 1 && k < 8, "Galois automorphisms of Q(zeta_8) are indexed by odd k < 8");
+        assert!(
+            k % 2 == 1 && k < 8,
+            "Galois automorphisms of Q(zeta_8) are indexed by odd k < 8"
+        );
         let mut out = Cyclotomic::zero();
         for (j, c) in self.coeffs.iter().enumerate() {
             if c.is_zero() {
@@ -180,7 +192,10 @@ impl Cyclotomic {
         let norm = self * &prod;
         debug_assert!(norm.is_rational(), "field norm must be rational");
         let norm_rat = norm.coeffs[0].clone();
-        assert!(!norm_rat.is_zero(), "field norm of a nonzero element cannot be zero");
+        assert!(
+            !norm_rat.is_zero(),
+            "field norm of a nonzero element cannot be zero"
+        );
         prod.scale(&norm_rat.recip())
     }
 
@@ -188,7 +203,12 @@ impl Cyclotomic {
     pub fn to_complex_f64(&self) -> (f64, f64) {
         // ζ^k = cos(kπ/4) + i sin(kπ/4)
         let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
-        let basis = [(1.0, 0.0), (inv_sqrt2, inv_sqrt2), (0.0, 1.0), (-inv_sqrt2, inv_sqrt2)];
+        let basis = [
+            (1.0, 0.0),
+            (inv_sqrt2, inv_sqrt2),
+            (0.0, 1.0),
+            (-inv_sqrt2, inv_sqrt2),
+        ];
         let mut re = 0.0;
         let mut im = 0.0;
         for (c, (br, bi)) in self.coeffs.iter().zip(basis.iter()) {

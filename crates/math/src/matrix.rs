@@ -30,7 +30,11 @@ pub struct Matrix<R> {
 impl<R: Ring> Matrix<R> {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![R::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![R::zero(); rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -50,10 +54,17 @@ impl<R: Ring> Matrix<R> {
     pub fn from_rows(rows: Vec<Vec<R>>) -> Self {
         assert!(!rows.is_empty(), "matrix must have at least one row");
         let cols = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == cols), "all rows must have the same length");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have the same length"
+        );
         let n_rows = rows.len();
         let data = rows.into_iter().flatten().collect();
-        Matrix { rows: n_rows, cols, data }
+        Matrix {
+            rows: n_rows,
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -82,7 +93,10 @@ impl<R: Ring> Matrix<R> {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix<R>) -> Matrix<R> {
-        assert_eq!(self.cols, rhs.rows, "matrix dimension mismatch in multiplication");
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix dimension mismatch in multiplication"
+        );
         let mut out: Matrix<R> = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -132,9 +146,22 @@ impl<R: Ring> Matrix<R> {
     ///
     /// Panics if the shapes disagree.
     pub fn add(&self, rhs: &Matrix<R>) -> Matrix<R> {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix shape mismatch in addition");
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a.add(b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix shape mismatch in addition"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a.add(b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise difference.
@@ -143,15 +170,32 @@ impl<R: Ring> Matrix<R> {
     ///
     /// Panics if the shapes disagree.
     pub fn sub(&self, rhs: &Matrix<R>) -> Matrix<R> {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix shape mismatch in subtraction");
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a.sub(b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix shape mismatch in subtraction"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a.sub(b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Multiplies every entry by a scalar.
     pub fn scale(&self, s: &R) -> Matrix<R> {
         let data = self.data.iter().map(|a| a.mul(s)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Transpose.
@@ -182,7 +226,10 @@ impl<R: Ring> Matrix<R> {
     /// Iterates over `(row, col, entry)` for all entries.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, &R)> {
         let cols = self.cols;
-        self.data.iter().enumerate().map(move |(idx, v)| (idx / cols, idx % cols, v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(idx, v)| (idx / cols, idx % cols, v))
     }
 }
 
@@ -245,7 +292,11 @@ impl Matrix<Complex64> {
     ///
     /// Panics if the shapes disagree.
     pub fn max_abs_diff(&self, other: &Matrix<Complex64>) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "matrix shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "matrix shape mismatch"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -325,8 +376,14 @@ mod tests {
     #[test]
     fn dagger_and_unitarity() {
         let h = Matrix::from_rows(vec![
-            vec![c(std::f64::consts::FRAC_1_SQRT_2, 0.0), c(std::f64::consts::FRAC_1_SQRT_2, 0.0)],
-            vec![c(std::f64::consts::FRAC_1_SQRT_2, 0.0), c(-std::f64::consts::FRAC_1_SQRT_2, 0.0)],
+            vec![
+                c(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+                c(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+            ],
+            vec![
+                c(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+                c(-std::f64::consts::FRAC_1_SQRT_2, 0.0),
+            ],
         ]);
         assert!(h.is_unitary(1e-12));
         assert!(h.dagger().approx_eq(&h, 1e-12));

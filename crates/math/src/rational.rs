@@ -50,12 +50,18 @@ impl Rational {
 
     /// The rational zero.
     pub fn zero() -> Self {
-        Rational { numer: BigInt::zero(), denom: BigInt::one() }
+        Rational {
+            numer: BigInt::zero(),
+            denom: BigInt::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Self {
-        Rational { numer: BigInt::one(), denom: BigInt::one() }
+        Rational {
+            numer: BigInt::one(),
+            denom: BigInt::one(),
+        }
     }
 
     /// Returns `true` if the value is zero.
@@ -100,7 +106,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { numer: self.numer.abs(), denom: self.denom.clone() }
+        Rational {
+            numer: self.numer.abs(),
+            denom: self.denom.clone(),
+        }
     }
 
     /// Lossy conversion to `f64`.
@@ -149,13 +158,19 @@ impl Default for Rational {
 
 impl From<i64> for Rational {
     fn from(v: i64) -> Self {
-        Rational { numer: BigInt::from(v), denom: BigInt::one() }
+        Rational {
+            numer: BigInt::from(v),
+            denom: BigInt::one(),
+        }
     }
 }
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational { numer: v, denom: BigInt::one() }
+        Rational {
+            numer: v,
+            denom: BigInt::one(),
+        }
     }
 }
 
@@ -210,7 +225,10 @@ impl Div for &Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { numer: -self.numer, denom: self.denom }
+        Rational {
+            numer: -self.numer,
+            denom: self.denom,
+        }
     }
 }
 

@@ -12,13 +12,19 @@ fn arb_rational() -> impl Strategy<Value = Rational> {
 }
 
 fn arb_cyclotomic() -> impl Strategy<Value = Cyclotomic> {
-    (arb_rational(), arb_rational(), arb_rational(), arb_rational()).prop_map(|(a, b, c, d)| {
-        let mut out = Cyclotomic::from_rational(a);
-        out += &Cyclotomic::zeta().scale(&b);
-        out += &Cyclotomic::i().scale(&c);
-        out += &Cyclotomic::root_of_unity(3).scale(&d);
-        out
-    })
+    (
+        arb_rational(),
+        arb_rational(),
+        arb_rational(),
+        arb_rational(),
+    )
+        .prop_map(|(a, b, c, d)| {
+            let mut out = Cyclotomic::from_rational(a);
+            out += &Cyclotomic::zeta().scale(&b);
+            out += &Cyclotomic::i().scale(&c);
+            out += &Cyclotomic::root_of_unity(3).scale(&d);
+            out
+        })
 }
 
 proptest! {

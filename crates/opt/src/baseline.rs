@@ -32,14 +32,22 @@ pub fn greedy_optimize(circuit: &Circuit) -> (Circuit, BaselineStats) {
         passes += 1;
         let next = one_pass(&current);
         if next.gate_count() == current.gate_count() && next == current {
-            let stats = BaselineStats { passes, gates_before, gates_after: next.gate_count() };
+            let stats = BaselineStats {
+                passes,
+                gates_before,
+                gates_after: next.gate_count(),
+            };
             return (next, stats);
         }
         current = next;
         if passes > 1000 {
             // Defensive bound; the rules strictly reduce or preserve gate
             // count, so this is unreachable in practice.
-            let stats = BaselineStats { passes, gates_before, gates_after: current.gate_count() };
+            let stats = BaselineStats {
+                passes,
+                gates_before,
+                gates_after: current.gate_count(),
+            };
             return (current, stats);
         }
     }
@@ -61,7 +69,8 @@ fn fuse_adjacent_rotations(circuit: &Circuit) -> Circuit {
     let mut next_single: Vec<Option<usize>> = vec![None; n];
     for (i, ps) in preds.iter().enumerate() {
         for p in ps.iter().flatten() {
-            if instrs[*p].gate.num_qubits() == 1 && instrs[i].qubits.contains(&instrs[*p].qubits[0]) {
+            if instrs[*p].gate.num_qubits() == 1 && instrs[i].qubits.contains(&instrs[*p].qubits[0])
+            {
                 next_single[*p] = Some(i);
             }
         }
@@ -78,7 +87,10 @@ fn fuse_adjacent_rotations(circuit: &Circuit) -> Circuit {
         }
         if let Some(j) = next_single[i] {
             if !removed[j] && instrs[j].gate == gate && instrs[j].qubits == instrs[i].qubits {
-                let a = replacement[i].as_ref().map(|r| r.params[0].clone()).unwrap_or_else(|| instrs[i].params[0].clone());
+                let a = replacement[i]
+                    .as_ref()
+                    .map(|r| r.params[0].clone())
+                    .unwrap_or_else(|| instrs[i].params[0].clone());
                 let sum = a.add(&instrs[j].params[0]);
                 replacement[j] = Some(Instruction::new(gate, instrs[j].qubits.clone(), vec![sum]));
                 removed[i] = true;
@@ -111,10 +123,8 @@ fn flip_hadamard_cnot(circuit: &Circuit) -> Circuit {
     let n = instrs.len();
     let preds = circuit.wire_predecessors();
     // successor per instruction per operand
-    let mut succs: Vec<Vec<Option<usize>>> = instrs
-        .iter()
-        .map(|i| vec![None; i.qubits.len()])
-        .collect();
+    let mut succs: Vec<Vec<Option<usize>>> =
+        instrs.iter().map(|i| vec![None; i.qubits.len()]).collect();
     for (i, ps) in preds.iter().enumerate() {
         for (op, p) in ps.iter().enumerate() {
             if let Some(pi) = p {
@@ -124,7 +134,8 @@ fn flip_hadamard_cnot(circuit: &Circuit) -> Circuit {
             }
         }
     }
-    let is_h_on = |idx: usize, q: usize| instrs[idx].gate == Gate::H && instrs[idx].qubits == vec![q];
+    let is_h_on =
+        |idx: usize, q: usize| instrs[idx].gate == Gate::H && instrs[idx].qubits == vec![q];
 
     let mut removed = vec![false; n];
     let mut replacement: Vec<Option<Instruction>> = vec![None; n];
@@ -137,7 +148,8 @@ fn flip_hadamard_cnot(circuit: &Circuit) -> Circuit {
         let before_t = preds[i][1];
         let after_c = succs[i][0];
         let after_t = succs[i][1];
-        let (Some(bc), Some(bt), Some(ac), Some(at)) = (before_c, before_t, after_c, after_t) else {
+        let (Some(bc), Some(bt), Some(ac), Some(at)) = (before_c, before_t, after_c, after_t)
+        else {
             continue;
         };
         if [bc, bt, ac, at].iter().any(|&x| removed[x]) {
@@ -175,8 +187,16 @@ mod tests {
         let mut c = Circuit::new(2, 0);
         c.push(h(0));
         c.push(h(0));
-        c.push(Instruction::new(Gate::Rz, vec![1], vec![ParamExpr::constant_pi4(1)]));
-        c.push(Instruction::new(Gate::Rz, vec![1], vec![ParamExpr::constant_pi4(1)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![1],
+            vec![ParamExpr::constant_pi4(1)],
+        ));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![1],
+            vec![ParamExpr::constant_pi4(1)],
+        ));
         c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
         let (out, stats) = greedy_optimize(&c);
         assert_eq!(out.gate_count(), 2);
@@ -212,8 +232,16 @@ mod tests {
     #[test]
     fn greedy_removes_full_rotations() {
         let mut c = Circuit::new(1, 0);
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(5)]));
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(3)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(5)],
+        ));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(3)],
+        ));
         let (out, _) = greedy_optimize(&c);
         assert_eq!(out.gate_count(), 0);
     }

@@ -8,9 +8,10 @@ use quartz_ir::{Circuit, Gate};
 use serde::{Deserialize, Serialize};
 
 /// A cost model mapping circuits to a non-negative cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum CostModel {
     /// Total number of gates (the metric used in the paper's evaluation).
+    #[default]
     GateCount,
     /// Number of two-qubit (and larger) gates.
     MultiQubitGateCount,
@@ -18,12 +19,6 @@ pub enum CostModel {
     TCount,
     /// Circuit depth.
     Depth,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        CostModel::GateCount
-    }
 }
 
 impl CostModel {

@@ -1,0 +1,177 @@
+//! Indexed transformation dispatch (DESIGN.md §2.2).
+//!
+//! The search dequeues a circuit and must decide which transformations to
+//! attempt. The naive approach — run the pattern matcher for *every*
+//! transformation — wastes most of its time on patterns that cannot possibly
+//! match. [`TransformationIndex`] prunes that set with two cheap filters
+//! before any matching happens:
+//!
+//! 1. **Anchor buckets.** Every transformation is bucketed under one *anchor*
+//!    gate type chosen from its target pattern (the globally rarest pattern
+//!    gate, for selectivity). A bucket is consulted only when the dequeued
+//!    circuit contains the anchor gate at all.
+//! 2. **Histogram subsumption.** A pattern can only match a circuit when its
+//!    gate-type multiset is a subset of the circuit's
+//!    ([`quartz_ir::GateHistogram::is_subset_of`]). Candidates surviving the
+//!    bucket lookup are checked against the circuit's incrementally-maintained
+//!    histogram in O([`Gate::COUNT`]).
+//!
+//! Both filters are *sound*: a skipped transformation is guaranteed to have
+//! zero matches, so the surviving candidate list — returned in original
+//! transformation order — produces exactly the same rewrites as the full
+//! linear scan, and the search explores an identical state space.
+
+use crate::xform::Transformation;
+use quartz_ir::{Gate, GateHistogram};
+
+/// Per-pattern metadata precomputed at index construction.
+#[derive(Debug, Clone)]
+struct PatternMeta {
+    /// Gate-type multiset of the target pattern.
+    histogram: GateHistogram,
+}
+
+/// An index over a transformation library, grouping transformations by
+/// anchor gate type and pattern gate-type multiset.
+#[derive(Debug, Clone)]
+pub struct TransformationIndex {
+    transformations: Vec<Transformation>,
+    metas: Vec<PatternMeta>,
+    /// Transformation ids bucketed by anchor gate index; each id appears in
+    /// exactly one bucket.
+    buckets: Vec<Vec<usize>>,
+}
+
+impl TransformationIndex {
+    /// Builds the index. Transformations with an empty target pattern are
+    /// rejected upstream (see `transformations_from_ecc_set`); if one slips
+    /// through it is bucketed under an arbitrary anchor and always attempted.
+    pub fn new(transformations: Vec<Transformation>) -> Self {
+        // Global frequency of each gate type across all target patterns,
+        // used to pick the most selective anchor per pattern.
+        let mut global_counts = [0usize; Gate::COUNT];
+        for xform in &transformations {
+            for instr in xform.target.instructions() {
+                global_counts[instr.gate.index()] += 1;
+            }
+        }
+        let mut metas = Vec::with_capacity(transformations.len());
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); Gate::COUNT];
+        for (id, xform) in transformations.iter().enumerate() {
+            let histogram = *xform.target.gate_histogram();
+            let anchor = xform
+                .target
+                .instructions()
+                .iter()
+                .map(|i| i.gate)
+                .min_by_key(|g| (global_counts[g.index()], g.index()))
+                .unwrap_or(Gate::H);
+            buckets[anchor.index()].push(id);
+            metas.push(PatternMeta { histogram });
+        }
+        TransformationIndex {
+            transformations,
+            metas,
+            buckets,
+        }
+    }
+
+    /// The indexed transformations, in their original order.
+    pub fn transformations(&self) -> &[Transformation] {
+        &self.transformations
+    }
+
+    /// Number of indexed transformations.
+    pub fn len(&self) -> usize {
+        self.transformations.len()
+    }
+
+    /// Returns `true` when the index holds no transformations.
+    pub fn is_empty(&self) -> bool {
+        self.transformations.is_empty()
+    }
+
+    /// Ids of the transformations that can possibly match a circuit with the
+    /// given gate histogram, in ascending (original) order — so dispatching
+    /// through the index visits the same transformations in the same order as
+    /// the linear scan, minus the provably-futile ones.
+    pub fn candidates_for(&self, circuit_histogram: &GateHistogram) -> Vec<usize> {
+        let mut ids = Vec::new();
+        for gate in circuit_histogram.present_gates() {
+            for &id in &self.buckets[gate.index()] {
+                if self.metas[id].histogram.is_subset_of(circuit_histogram) {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xform::instruction;
+    use quartz_ir::{Circuit, Gate};
+
+    fn xform(target_gates: &[(Gate, usize)], rewrite_gates: &[(Gate, usize)]) -> Transformation {
+        let build = |gates: &[(Gate, usize)]| {
+            let mut c = Circuit::new(2, 0);
+            for &(g, q) in gates {
+                if g.num_qubits() == 2 {
+                    c.push(instruction(g, &[q, 1 - q]));
+                } else {
+                    c.push(instruction(g, &[q]));
+                }
+            }
+            c
+        };
+        Transformation {
+            target: build(target_gates),
+            rewrite: build(rewrite_gates),
+        }
+    }
+
+    #[test]
+    fn candidates_are_filtered_and_ordered() {
+        let xforms = vec![
+            xform(&[(Gate::H, 0), (Gate::H, 0)], &[]), // 0: needs H,H
+            xform(&[(Gate::X, 0), (Gate::X, 0)], &[]), // 1: needs X,X
+            xform(&[(Gate::H, 0), (Gate::Cnot, 0)], &[(Gate::H, 0)]), // 2: needs H,CNOT
+            xform(&[(Gate::Cnot, 0), (Gate::Cnot, 0)], &[]), // 3: needs CNOT,CNOT
+        ];
+        let index = TransformationIndex::new(xforms);
+        assert_eq!(index.len(), 4);
+
+        // Circuit with two H's and one CNOT: the X-pattern and the
+        // double-CNOT pattern are pruned.
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[1]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        assert_eq!(index.candidates_for(c.gate_histogram()), vec![0, 2]);
+
+        // An all-X circuit only consults the X pattern.
+        let mut xs = Circuit::new(2, 0);
+        xs.push(instruction(Gate::X, &[0]));
+        xs.push(instruction(Gate::X, &[0]));
+        assert_eq!(index.candidates_for(xs.gate_histogram()), vec![1]);
+
+        // The empty circuit matches nothing.
+        assert!(index
+            .candidates_for(Circuit::new(2, 0).gate_histogram())
+            .is_empty());
+    }
+
+    #[test]
+    fn multiplicity_matters_not_just_presence() {
+        let xforms = vec![xform(&[(Gate::H, 0), (Gate::H, 0)], &[])];
+        let index = TransformationIndex::new(xforms);
+        let mut one_h = Circuit::new(2, 0);
+        one_h.push(instruction(Gate::H, &[0]));
+        assert!(index.candidates_for(one_h.gate_histogram()).is_empty());
+        let two_h = one_h.appended(instruction(Gate::H, &[1]));
+        assert_eq!(index.candidates_for(two_h.gate_histogram()), vec![0]);
+    }
+}

@@ -2,9 +2,13 @@
 //!
 //! The circuit optimizer of the Quartz superoptimizer reproduction
 //! (paper §6 and §7.1): transformation extraction from ECC sets, convex
-//! subcircuit matching, the cost-based backtracking search of Algorithm 2,
-//! the preprocessing passes (Toffoli decomposition, rotation merging,
-//! gate-set transpilation), and a greedy rule-based baseline.
+//! subcircuit matching, and the cost-based backtracking search of
+//! Algorithm 2 — implemented as a three-layer engine (DESIGN.md §2):
+//! canonical-form fingerprints for deduplication, a [`TransformationIndex`]
+//! that dispatches only the transformations whose pattern gate-multiset the
+//! circuit can cover, and batched parallel frontier expansion. Also the
+//! preprocessing passes (Toffoli decomposition, rotation merging, gate-set
+//! transpilation) and a greedy rule-based baseline.
 //!
 //! # Example
 //!
@@ -33,6 +37,7 @@
 
 mod baseline;
 mod cost;
+mod index;
 mod matcher;
 mod preprocess;
 mod search;
@@ -40,7 +45,8 @@ mod xform;
 
 pub use baseline::{greedy_optimize, BaselineStats};
 pub use cost::CostModel;
-pub use matcher::{apply_all, apply_at, find_matches, Match};
+pub use index::TransformationIndex;
+pub use matcher::{apply_all, apply_at, find_matches, Match, MatchContext};
 pub use preprocess::{
     cancel_adjacent_inverses, clifford_t_to_nam, decompose_toffolis, merge_rotations, nam_to_ibm,
     nam_to_rigetti, preprocess_ibm, preprocess_nam, preprocess_rigetti, toffoli_decomposition,

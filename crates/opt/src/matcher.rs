@@ -16,7 +16,7 @@
 //! rewrite circuit with its qubits and parameters instantiated.
 
 use crate::xform::Transformation;
-use quartz_ir::{Circuit, Instruction, ParamExpr};
+use quartz_ir::{Circuit, Gate, Instruction, ParamExpr};
 use std::collections::HashSet;
 
 /// A successful match of a pattern against a circuit.
@@ -33,25 +33,111 @@ pub struct Match {
 }
 
 /// Finds every match of `pattern` inside `circuit`.
+///
+/// Convenience wrapper building a throwaway [`MatchContext`]; when several
+/// patterns are matched against the same circuit (the optimizer's hot path),
+/// build one context and reuse it.
 pub fn find_matches(circuit: &Circuit, pattern: &Circuit) -> Vec<Match> {
-    if pattern.is_empty() || pattern.gate_count() > circuit.gate_count() {
-        return Vec::new();
+    MatchContext::new(circuit).find_matches(pattern)
+}
+
+/// Precomputed matching state for one circuit, reusable across patterns.
+///
+/// Construction walks the circuit once to build its wire-dependency adjacency
+/// (predecessors and successors) and a gate-type → instruction-indices table.
+/// [`MatchContext::find_matches`] then *anchors* each pattern: the first
+/// pattern instruction only tries circuit instructions of the same gate type
+/// (instead of scanning the whole circuit), and subsequent pattern
+/// instructions only try wire successors of already-matched ones. This is the
+/// anchored entry point the indexed dispatch layer (DESIGN.md §2.2) drives.
+pub struct MatchContext<'a> {
+    circuit: &'a Circuit,
+    /// Wire predecessors of each circuit instruction.
+    preds: Vec<Vec<Option<usize>>>,
+    /// Wire successors of each circuit instruction.
+    succs: Vec<Vec<usize>>,
+    /// Circuit instruction indices by gate type (ascending).
+    by_gate: Vec<Vec<usize>>,
+}
+
+impl<'a> MatchContext<'a> {
+    /// Builds the context for a circuit.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        let preds = circuit.wire_predecessors();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); circuit.gate_count()];
+        for (i, ps) in preds.iter().enumerate() {
+            for p in ps.iter().flatten() {
+                if succs[*p].last() != Some(&i) {
+                    succs[*p].push(i);
+                }
+            }
+        }
+        let mut by_gate: Vec<Vec<usize>> = vec![Vec::new(); Gate::COUNT];
+        for (i, instr) in circuit.instructions().iter().enumerate() {
+            by_gate[instr.gate.index()].push(i);
+        }
+        MatchContext {
+            circuit,
+            preds,
+            succs,
+            by_gate,
+        }
     }
-    let state = MatchState::new(circuit, pattern);
-    state.search()
+
+    /// The circuit this context was built for.
+    pub fn circuit(&self) -> &'a Circuit {
+        self.circuit
+    }
+
+    /// Finds every match of `pattern` inside the circuit.
+    pub fn find_matches(&self, pattern: &Circuit) -> Vec<Match> {
+        if pattern.is_empty() || pattern.gate_count() > self.circuit.gate_count() {
+            return Vec::new();
+        }
+        let state = MatchState {
+            ctx: self,
+            pattern,
+            pattern_preds: pattern.wire_predecessors(),
+        };
+        state.search()
+    }
+
+    /// Computes `Apply(C, T)` through this context: every circuit obtainable
+    /// by applying the transformation at some match (paper §6).
+    pub fn apply_all(&self, xform: &Transformation) -> Vec<Circuit> {
+        self.find_matches(&xform.target)
+            .iter()
+            .filter_map(|m| apply_at_with(&self.preds, self.circuit, xform, m))
+            .collect()
+    }
 }
 
 /// Applies a transformation at a specific match, producing the rewritten
 /// circuit, or `None` when the rewrite cannot be instantiated (for example
 /// because it uses a parameter the target never bound).
 pub fn apply_at(circuit: &Circuit, xform: &Transformation, m: &Match) -> Option<Circuit> {
+    apply_at_with(&circuit.wire_predecessors(), circuit, xform, m)
+}
+
+/// [`apply_at`] over precomputed wire predecessors — the hot-path variant
+/// [`MatchContext::apply_all`] uses, avoiding a circuit re-walk per match.
+fn apply_at_with(
+    preds: &[Vec<Option<usize>>],
+    circuit: &Circuit,
+    xform: &Transformation,
+    m: &Match,
+) -> Option<Circuit> {
     let matched: HashSet<usize> = m.instruction_map.iter().copied().collect();
-    let (ancestors, descendants) = boundary_sets(circuit, &matched);
+    let (ancestors, descendants) = boundary_sets_with(preds, &matched);
 
     // Instantiate the rewrite's instructions.
     let mut rewrite_instrs = Vec::with_capacity(xform.rewrite.gate_count());
     for instr in xform.rewrite.instructions() {
-        let qubits: Option<Vec<usize>> = instr.qubits.iter().map(|&q| m.qubit_map.get(q).copied().flatten()).collect();
+        let qubits: Option<Vec<usize>> = instr
+            .qubits
+            .iter()
+            .map(|&q| m.qubit_map.get(q).copied().flatten())
+            .collect();
         let qubits = qubits?;
         let mut params = Vec::with_capacity(instr.params.len());
         for p in &instr.params {
@@ -109,10 +195,13 @@ fn instantiate(
 }
 
 /// Ancestors and descendants (outside the matched set) of the matched set in
-/// the circuit's wire-dependency DAG.
-fn boundary_sets(circuit: &Circuit, matched: &HashSet<usize>) -> (HashSet<usize>, HashSet<usize>) {
-    let n = circuit.gate_count();
-    let preds = circuit.wire_predecessors();
+/// the wire-dependency DAG described by `preds` (precomputed wire
+/// predecessors, so the matcher's hot path never re-walks the circuit).
+fn boundary_sets_with(
+    preds: &[Vec<Option<usize>>],
+    matched: &HashSet<usize>,
+) -> (HashSet<usize>, HashSet<usize>) {
+    let n = preds.len();
     let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, ps) in preds.iter().enumerate() {
@@ -146,53 +235,31 @@ fn boundary_sets(circuit: &Circuit, matched: &HashSet<usize>) -> (HashSet<usize>
 
 /// Returns `true` when the matched set is convex: no external instruction is
 /// both an ancestor and a descendant of the matched set.
-fn is_convex(circuit: &Circuit, matched: &HashSet<usize>) -> bool {
-    let (ancestors, descendants) = boundary_sets(circuit, matched);
+fn is_convex_with(preds: &[Vec<Option<usize>>], matched: &HashSet<usize>) -> bool {
+    let (ancestors, descendants) = boundary_sets_with(preds, matched);
     ancestors.intersection(&descendants).next().is_none()
 }
 
-struct MatchState<'a> {
-    circuit: &'a Circuit,
-    pattern: &'a Circuit,
-    /// Wire predecessors of the circuit and the pattern.
-    circuit_preds: Vec<Vec<Option<usize>>>,
+struct MatchState<'a, 'b> {
+    ctx: &'b MatchContext<'a>,
+    pattern: &'b Circuit,
     pattern_preds: Vec<Vec<Option<usize>>>,
-    /// Wire successors of each circuit instruction (used to narrow the
-    /// candidate set once part of the pattern is matched).
-    circuit_succs: Vec<Vec<usize>>,
 }
 
-impl<'a> MatchState<'a> {
-    fn new(circuit: &'a Circuit, pattern: &'a Circuit) -> Self {
-        let circuit_preds = circuit.wire_predecessors();
-        let mut circuit_succs: Vec<Vec<usize>> = vec![Vec::new(); circuit.gate_count()];
-        for (i, ps) in circuit_preds.iter().enumerate() {
-            for p in ps.iter().flatten() {
-                if circuit_succs[*p].last() != Some(&i) {
-                    circuit_succs[*p].push(i);
-                }
-            }
-        }
-        MatchState {
-            circuit,
-            pattern,
-            circuit_preds,
-            pattern_preds: pattern.wire_predecessors(),
-            circuit_succs,
-        }
-    }
-
+impl MatchState<'_, '_> {
     /// Candidate circuit instructions for the pattern instruction at `depth`:
     /// when the pattern instruction depends on an already-matched one, only
     /// the wire successors of that matched instruction can possibly satisfy
-    /// the wire-order constraint, so the search is narrowed to them.
-    fn candidates(&self, depth: usize, instruction_map: &[usize]) -> Vec<usize> {
+    /// the wire-order constraint, so the search is narrowed to them; otherwise
+    /// the instruction anchors a fresh wire and only circuit instructions of
+    /// its own gate type are candidates.
+    fn candidates(&self, depth: usize, instruction_map: &[usize]) -> &[usize] {
         for pred in self.pattern_preds[depth].iter().flatten() {
             if *pred < instruction_map.len() {
-                return self.circuit_succs[instruction_map[*pred]].clone();
+                return &self.ctx.succs[instruction_map[*pred]];
             }
         }
-        (0..self.circuit.gate_count()).collect()
+        &self.ctx.by_gate[self.pattern.instructions()[depth].gate.index()]
     }
 
     fn search(&self) -> Vec<Match> {
@@ -222,7 +289,7 @@ impl<'a> MatchState<'a> {
         let depth = instruction_map.len();
         if depth == self.pattern.gate_count() {
             let matched: HashSet<usize> = instruction_map.iter().copied().collect();
-            if is_convex(self.circuit, &matched) {
+            if is_convex_with(&self.ctx.preds, &matched) {
                 results.push(Match {
                     instruction_map: instruction_map.clone(),
                     qubit_map: qubit_map.clone(),
@@ -232,8 +299,8 @@ impl<'a> MatchState<'a> {
             return;
         }
         let pattern_instr = &self.pattern.instructions()[depth];
-        'candidates: for ci in self.candidates(depth, instruction_map) {
-            let circuit_instr = &self.circuit.instructions()[ci];
+        'candidates: for &ci in self.candidates(depth, instruction_map) {
+            let circuit_instr = &self.ctx.circuit.instructions()[ci];
             if circuit_instr.gate != pattern_instr.gate {
                 continue;
             }
@@ -274,7 +341,7 @@ impl<'a> MatchState<'a> {
             // the pattern predecessor (or an instruction outside the match
             // when the pattern wire starts here).
             for (op, pred) in self.pattern_preds[depth].iter().enumerate() {
-                let circuit_pred = self.circuit_preds[ci][op];
+                let circuit_pred = self.ctx.preds[ci][op];
                 match pred {
                     Some(pattern_pred_idx) => {
                         let expected = instruction_map[*pattern_pred_idx];
@@ -307,7 +374,12 @@ impl<'a> MatchState<'a> {
             // Parameter binding.
             let mut ok = true;
             for (p_expr, c_expr) in pattern_instr.params.iter().zip(circuit_instr.params.iter()) {
-                if !bind_params(p_expr, c_expr, param_bindings, self.circuit.num_params()) {
+                if !bind_params(
+                    p_expr,
+                    c_expr,
+                    param_bindings,
+                    self.ctx.circuit.num_params(),
+                ) {
                     ok = false;
                     break;
                 }
@@ -320,7 +392,13 @@ impl<'a> MatchState<'a> {
             }
 
             instruction_map.push(ci);
-            self.extend(instruction_map, qubit_map, used_circuit_qubits, param_bindings, results);
+            self.extend(
+                instruction_map,
+                qubit_map,
+                used_circuit_qubits,
+                param_bindings,
+                results,
+            );
             instruction_map.pop();
             *qubit_map = saved_qubit_map;
             *used_circuit_qubits = saved_used;
@@ -383,7 +461,10 @@ mod tests {
         let mut hh = Circuit::new(1, 0);
         hh.push(h(0));
         hh.push(h(0));
-        Transformation { target: hh, rewrite: Circuit::new(1, 0) }
+        Transformation {
+            target: hh,
+            rewrite: Circuit::new(1, 0),
+        }
     }
 
     #[test]
@@ -447,15 +528,35 @@ mod tests {
         // Pattern: Rz(p0) Rz(p1) → Rz(p0+p1). Circuit: Rz(π/4) Rz(π/2).
         let m = 2;
         let mut target = Circuit::new(1, m);
-        target.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, m)]));
-        target.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(1, m)]));
+        target.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::var(0, m)],
+        ));
+        target.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::var(1, m)],
+        ));
         let mut rewrite = Circuit::new(1, m);
-        rewrite.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::sum_vars(0, 1, m)]));
+        rewrite.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::sum_vars(0, 1, m)],
+        ));
         let xform = Transformation { target, rewrite };
 
         let mut c = Circuit::new(1, 0);
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(1)]));
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(2)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(1)],
+        ));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(2)],
+        ));
         let outs = apply_all(&c, &xform);
         assert!(!outs.is_empty());
         let merged = &outs[0];
@@ -468,14 +569,26 @@ mod tests {
         // Pattern Rz(2·p0) only matches even multiples of π/4.
         let m = 1;
         let mut target = Circuit::new(1, m);
-        target.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::scaled_var(0, 2, m)]));
+        target.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::scaled_var(0, 2, m)],
+        ));
         let rewrite = target.clone();
         let xform = Transformation { target, rewrite };
         let mut even = Circuit::new(1, 0);
-        even.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(2)]));
+        even.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(2)],
+        ));
         assert_eq!(find_matches(&even, &xform.target).len(), 1);
         let mut odd = Circuit::new(1, 0);
-        odd.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(1)]));
+        odd.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(1)],
+        ));
         assert!(find_matches(&odd, &xform.target).is_empty());
     }
 

@@ -18,7 +18,11 @@ pub fn clifford_t_to_nam(circuit: &Circuit) -> Circuit {
             Gate::S => out.push(rz_const(instr.qubits[0], 2)),
             Gate::Sdg => out.push(rz_const(instr.qubits[0], -2)),
             Gate::Z => out.push(rz_const(instr.qubits[0], 4)),
-            Gate::U1 => out.push(Instruction::new(Gate::Rz, instr.qubits.clone(), instr.params.clone())),
+            Gate::U1 => out.push(Instruction::new(
+                Gate::Rz,
+                instr.qubits.clone(),
+                instr.params.clone(),
+            )),
             Gate::Y => {
                 out.push(rz_const(instr.qubits[0], 4));
                 out.push(Instruction::new(Gate::X, instr.qubits.clone(), vec![]));
@@ -42,7 +46,11 @@ pub fn clifford_t_to_nam(circuit: &Circuit) -> Circuit {
 }
 
 fn rz_const(qubit: usize, quarter_pi: i32) -> Instruction {
-    Instruction::new(Gate::Rz, vec![qubit], vec![ParamExpr::constant_pi4(quarter_pi)])
+    Instruction::new(
+        Gate::Rz,
+        vec![qubit],
+        vec![ParamExpr::constant_pi4(quarter_pi)],
+    )
 }
 
 /// The standard 15-gate Clifford+T decomposition of a Toffoli gate, emitted
@@ -50,7 +58,12 @@ fn rz_const(qubit: usize, quarter_pi: i32) -> Instruction {
 /// polarity: when `true` all T/T† rotations are conjugated, which is also a
 /// valid decomposition (of the same unitary) and interacts differently with
 /// rotation merging (paper §7.1).
-pub fn toffoli_decomposition(c0: usize, c1: usize, target: usize, invert: bool) -> Vec<Instruction> {
+pub fn toffoli_decomposition(
+    c0: usize,
+    c1: usize,
+    target: usize,
+    invert: bool,
+) -> Vec<Instruction> {
     let sign = |positive: bool| if positive ^ invert { 1 } else { -1 };
     vec![
         Instruction::new(Gate::H, vec![target], vec![]),
@@ -253,7 +266,11 @@ pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
             for (op, p) in ps.iter().enumerate() {
                 if let Some(pi) = p {
                     let q = current.instructions()[i].qubits[op];
-                    let p_op = current.instructions()[*pi].qubits.iter().position(|&x| x == q).unwrap();
+                    let p_op = current.instructions()[*pi]
+                        .qubits
+                        .iter()
+                        .position(|&x| x == q)
+                        .unwrap();
                     next_on_wire[*pi][p_op] = Some(i);
                 }
             }
@@ -278,7 +295,9 @@ pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
             };
             // The candidate partner must directly follow on every wire.
             let followers: Vec<Option<usize>> = next_on_wire[i].clone();
-            let Some(Some(j)) = followers.first().copied() else { continue };
+            let Some(Some(j)) = followers.first().copied() else {
+                continue;
+            };
             if removed[j] {
                 continue;
             }
@@ -334,7 +353,11 @@ pub fn nam_to_ibm(circuit: &Circuit) -> Circuit {
                     ParamExpr::constant_pi4(4),
                 ],
             )),
-            Gate::Rz => out.push(Instruction::new(Gate::U1, instr.qubits.clone(), instr.params.clone())),
+            Gate::Rz => out.push(Instruction::new(
+                Gate::U1,
+                instr.qubits.clone(),
+                instr.params.clone(),
+            )),
             _ => out.push(instr.clone()),
         }
     }
@@ -452,7 +475,16 @@ mod tests {
         c.push(rz_const(0, 1));
         let merged = merge_rotations(&c);
         assert_eq!(merged.count_gate(Gate::Rz), 1);
-        assert_eq!(merged.instructions().iter().find(|i| i.gate == Gate::Rz).unwrap().params[0].const_pi4(), 2);
+        assert_eq!(
+            merged
+                .instructions()
+                .iter()
+                .find(|i| i.gate == Gate::Rz)
+                .unwrap()
+                .params[0]
+                .const_pi4(),
+            2
+        );
         assert!(equivalent_up_to_phase(&merged, &c, &[], 1e-9));
     }
 

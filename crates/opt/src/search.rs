@@ -1,10 +1,25 @@
 //! The cost-based backtracking search of the optimizer (paper §6,
-//! Algorithm 2).
+//! Algorithm 2), restructured as a batched, indexed, parallel frontier
+//! expansion (DESIGN.md §2.3).
+//!
+//! Each step pops the best `batch_size` queue entries, expands them on worker
+//! threads (matching only the transformations the [`TransformationIndex`]
+//! says can possibly apply), and merges the resulting candidates
+//! sequentially in (cost, insertion order) priority order. Deduplication uses
+//! 64-bit canonical-form fingerprints ([`Circuit::fingerprint`]) instead of
+//! whole-circuit clones. With `batch_size = 1` the search visits exactly the
+//! states the original sequential loop visited, in the same order; larger
+//! batches trade strict best-first order for parallelism while remaining
+//! deterministic (worker results are merged in a fixed order, independent of
+//! thread scheduling) whenever the run ends by iteration budget or queue
+//! exhaustion rather than by wall-clock timeout.
 
 use crate::cost::CostModel;
-use crate::matcher::apply_all;
+use crate::index::TransformationIndex;
+use crate::matcher::MatchContext;
 use crate::xform::{canonicalize, Transformation};
 use quartz_ir::Circuit;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -29,6 +44,19 @@ pub struct SearchConfig {
     pub queue_keep: usize,
     /// The cost model to minimize.
     pub cost_model: CostModel,
+    /// Number of queue entries expanded per search step. `1` (the default)
+    /// reproduces the exact sequential semantics of Algorithm 2; larger
+    /// values expand the frontier in parallel.
+    pub batch_size: usize,
+    /// Worker threads for batch expansion; `0` (the default) uses one per
+    /// available core. Irrelevant when `batch_size` is 1.
+    pub num_threads: usize,
+    /// When `true` (the default), dispatch through the
+    /// [`TransformationIndex`], skipping transformations whose pattern
+    /// gate-multiset cannot be covered by the circuit. `false` forces the
+    /// full linear scan (same results, more work) — kept for benchmarking
+    /// the index and as a safety valve.
+    pub use_index: bool,
 }
 
 impl Default for SearchConfig {
@@ -40,6 +68,9 @@ impl Default for SearchConfig {
             queue_prune_threshold: 2000,
             queue_keep: 1000,
             cost_model: CostModel::GateCount,
+            batch_size: 1,
+            num_threads: 0,
+            use_index: true,
         }
     }
 }
@@ -48,7 +79,19 @@ impl SearchConfig {
     /// A configuration with the given time budget and the paper's defaults
     /// otherwise.
     pub fn with_timeout(timeout: Duration) -> Self {
-        SearchConfig { timeout, ..SearchConfig::default() }
+        SearchConfig {
+            timeout,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Effective worker-thread count for batch expansion.
+    fn effective_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.num_threads
+        }
     }
 }
 
@@ -70,6 +113,14 @@ pub struct SearchResult {
     /// Trace of (elapsed, best cost) pairs recorded whenever the best cost
     /// improved — used to reproduce the time-series plots (paper Figure 8).
     pub improvement_trace: Vec<(Duration, usize)>,
+    /// Transformations actually matched against dequeued circuits.
+    pub match_attempts: usize,
+    /// Transformations skipped by the index's histogram filter — each one a
+    /// pattern match the linear scan would have attempted and lost.
+    pub match_skips: usize,
+    /// Candidate circuits discarded because their canonical fingerprint was
+    /// already in the seen-set.
+    pub dedup_hits: usize,
 }
 
 impl SearchResult {
@@ -79,6 +130,17 @@ impl SearchResult {
             0.0
         } else {
             1.0 - self.best_cost as f64 / self.initial_cost as f64
+        }
+    }
+
+    /// Fraction of pattern-match attempts the index dispatch avoided, in
+    /// [0, 1] (0 when nothing was skipped, e.g. with `use_index: false`).
+    pub fn dispatch_skip_rate(&self) -> f64 {
+        let total = self.match_attempts + self.match_skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.match_skips as f64 / total as f64
         }
     }
 }
@@ -106,6 +168,22 @@ impl PartialOrd for QueueEntry {
     }
 }
 
+/// A successor circuit produced by one expansion, with its canonical
+/// fingerprint and cost precomputed on the worker.
+struct Candidate {
+    circuit: Circuit,
+    fingerprint: u64,
+    cost: usize,
+}
+
+/// Everything a worker produced for one dequeued circuit.
+struct Expansion {
+    candidates: Vec<Candidate>,
+    attempts: usize,
+    skips: usize,
+    dedup_hits: usize,
+}
+
 /// The cost-based backtracking optimizer.
 ///
 /// # Examples
@@ -130,14 +208,18 @@ impl PartialOrd for QueueEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Optimizer {
-    transformations: Vec<Transformation>,
+    index: TransformationIndex,
     config: SearchConfig,
 }
 
 impl Optimizer {
-    /// Creates an optimizer from an explicit transformation list.
+    /// Creates an optimizer from an explicit transformation list, building
+    /// the dispatch index over it.
     pub fn new(transformations: Vec<Transformation>, config: SearchConfig) -> Self {
-        Optimizer { transformations, config }
+        Optimizer {
+            index: TransformationIndex::new(transformations),
+            config,
+        }
     }
 
     /// Creates an optimizer from an ECC set, extracting transformations with
@@ -149,7 +231,12 @@ impl Optimizer {
 
     /// The transformations available to the search.
     pub fn transformations(&self) -> &[Transformation] {
-        &self.transformations
+        self.index.transformations()
+    }
+
+    /// The dispatch index over the transformations.
+    pub fn index(&self) -> &TransformationIndex {
+        &self.index
     }
 
     /// The search configuration.
@@ -161,6 +248,7 @@ impl Optimizer {
     pub fn optimize(&self, input: &Circuit) -> SearchResult {
         let start = Instant::now();
         let cost_model = self.config.cost_model;
+        let gamma = self.config.gamma;
         let initial_cost = cost_model.cost(input);
 
         let canonical_input = canonicalize(input);
@@ -169,45 +257,90 @@ impl Optimizer {
         let mut improvement_trace = vec![(Duration::ZERO, best_cost)];
 
         let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
-        let mut seen: HashSet<Circuit> = HashSet::new();
+        let mut seen: HashSet<u64> = HashSet::new();
         let mut order = 0usize;
-        seen.insert(canonical_input.clone());
-        queue.push(QueueEntry { cost: initial_cost, order, circuit: canonical_input });
+        seen.insert(canonical_input.fingerprint());
+        queue.push(QueueEntry {
+            cost: initial_cost,
+            order,
+            circuit: canonical_input,
+        });
 
         let mut iterations = 0usize;
-        while let Some(entry) = queue.pop() {
+        let mut match_attempts = 0usize;
+        let mut match_skips = 0usize;
+        let mut dedup_hits = 0usize;
+
+        let batch_size = self.config.batch_size.max(1);
+        let num_threads = self.config.effective_threads();
+
+        loop {
             if start.elapsed() > self.config.timeout || iterations >= self.config.max_iterations {
                 break;
             }
-            iterations += 1;
-            let circuit = entry.circuit;
-            let cost = entry.cost;
-            if cost < best_cost {
-                best_cost = cost;
-                best_circuit = circuit.clone();
-                improvement_trace.push((start.elapsed(), best_cost));
+            let take = batch_size.min(self.config.max_iterations - iterations);
+            let mut batch: Vec<QueueEntry> = Vec::with_capacity(take);
+            while batch.len() < take {
+                match queue.pop() {
+                    Some(entry) => batch.push(entry),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            iterations += batch.len();
+            for entry in &batch {
+                if entry.cost < best_cost {
+                    best_cost = entry.cost;
+                    best_circuit = entry.circuit.clone();
+                    improvement_trace.push((start.elapsed(), best_cost));
+                }
             }
 
-            for xform in &self.transformations {
-                for new_circuit in apply_all(&circuit, xform) {
-                    let canonical = canonicalize(&new_circuit);
-                    if seen.contains(&canonical) {
+            // Expand the batch. Workers only read state frozen before the
+            // batch (the seen-set and best cost), so their pre-filters are
+            // conservative and the sequential merge below remains exact: a
+            // candidate failing γ against the frozen best also fails against
+            // any (only ever lower) merge-time best, and a fingerprint in the
+            // frozen seen-set is still in it at merge time.
+            let frozen_best = best_cost;
+            let expansions: Vec<Expansion> = if batch.len() == 1 {
+                vec![self.expand_entry(&batch[0], frozen_best, &seen, start)]
+            } else {
+                batch
+                    .par_iter()
+                    .with_max_threads(num_threads)
+                    .map(|entry| self.expand_entry(entry, frozen_best, &seen, start))
+                    .collect()
+            };
+
+            // Deterministic merge in batch (priority) order; with
+            // batch_size = 1 this interleaves with expansion exactly as the
+            // sequential algorithm did.
+            for expansion in expansions {
+                match_attempts += expansion.attempts;
+                match_skips += expansion.skips;
+                dedup_hits += expansion.dedup_hits;
+                for candidate in expansion.candidates {
+                    if seen.contains(&candidate.fingerprint) {
+                        dedup_hits += 1;
                         continue;
                     }
-                    let new_cost = cost_model.cost(&canonical);
-                    if (new_cost as f64) < self.config.gamma * best_cost as f64 {
-                        if new_cost < best_cost {
-                            best_cost = new_cost;
-                            best_circuit = canonical.clone();
+                    if (candidate.cost as f64) < gamma * best_cost as f64 {
+                        if candidate.cost < best_cost {
+                            best_cost = candidate.cost;
+                            best_circuit = candidate.circuit.clone();
                             improvement_trace.push((start.elapsed(), best_cost));
                         }
                         order += 1;
-                        seen.insert(canonical.clone());
-                        queue.push(QueueEntry { cost: new_cost, order, circuit: canonical });
+                        seen.insert(candidate.fingerprint);
+                        queue.push(QueueEntry {
+                            cost: candidate.cost,
+                            order,
+                            circuit: candidate.circuit,
+                        });
                     }
-                }
-                if start.elapsed() > self.config.timeout {
-                    break;
                 }
             }
 
@@ -230,7 +363,63 @@ impl Optimizer {
             circuits_seen: seen.len(),
             elapsed: start.elapsed(),
             improvement_trace,
+            match_attempts,
+            match_skips,
+            dedup_hits,
         }
+    }
+
+    /// Expands one dequeued circuit: dispatches through the index (or the
+    /// full scan), matches each surviving transformation anchored on the
+    /// precomputed [`MatchContext`], and canonicalizes/fingerprints/costs
+    /// every successor. Pure with respect to the search state — safe to run
+    /// on worker threads.
+    fn expand_entry(
+        &self,
+        entry: &QueueEntry,
+        frozen_best: usize,
+        seen: &HashSet<u64>,
+        start: Instant,
+    ) -> Expansion {
+        let ctx = MatchContext::new(&entry.circuit);
+        let total = self.index.len();
+        let candidate_ids: Vec<usize> = if self.config.use_index {
+            self.index.candidates_for(entry.circuit.gate_histogram())
+        } else {
+            (0..total).collect()
+        };
+        let mut expansion = Expansion {
+            candidates: Vec::new(),
+            attempts: 0,
+            skips: total - candidate_ids.len(),
+            dedup_hits: 0,
+        };
+        let cost_model = self.config.cost_model;
+        let gamma = self.config.gamma;
+        for id in candidate_ids {
+            if start.elapsed() > self.config.timeout {
+                break;
+            }
+            expansion.attempts += 1;
+            let xform = &self.index.transformations()[id];
+            for new_circuit in ctx.apply_all(xform) {
+                let canonical = canonicalize(&new_circuit);
+                let fingerprint = canonical.fingerprint();
+                if seen.contains(&fingerprint) {
+                    expansion.dedup_hits += 1;
+                    continue;
+                }
+                let cost = cost_model.cost(&canonical);
+                if (cost as f64) < gamma * frozen_best as f64 {
+                    expansion.candidates.push(Candidate {
+                        circuit: canonical,
+                        fingerprint,
+                        cost,
+                    });
+                }
+            }
+        }
+        expansion
     }
 }
 
@@ -265,8 +454,16 @@ mod tests {
     fn merges_rotations_via_learned_transformations() {
         let opt = nam_optimizer(2, 1, 2);
         let mut c = Circuit::new(1, 0);
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(1)]));
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(2)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(1)],
+        ));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::constant_pi4(2)],
+        ));
         let result = opt.optimize(&c);
         assert_eq!(result.best_cost, 1);
         assert!(equivalent_up_to_phase(&result.best_circuit, &c, &[], 1e-10));
@@ -281,7 +478,10 @@ mod tests {
         let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(3, 2, 0)).run();
         let opt = Optimizer::from_ecc_set(
             &set,
-            SearchConfig { timeout: Duration::from_secs(20), ..SearchConfig::default() },
+            SearchConfig {
+                timeout: Duration::from_secs(20),
+                ..SearchConfig::default()
+            },
         );
         let mut c = Circuit::new(2, 0);
         c.push(instruction(Gate::H, &[0]));
@@ -290,7 +490,11 @@ mod tests {
         c.push(instruction(Gate::H, &[0]));
         c.push(instruction(Gate::H, &[1]));
         let result = opt.optimize(&c);
-        assert!(result.best_cost <= 3, "expected substantial reduction, got {}", result.best_cost);
+        assert!(
+            result.best_cost <= 3,
+            "expected substantial reduction, got {}",
+            result.best_cost
+        );
         assert!(equivalent_up_to_phase(&result.best_circuit, &c, &[], 1e-10));
     }
 
@@ -309,7 +513,10 @@ mod tests {
     fn respects_iteration_budget() {
         let opt = Optimizer::new(
             nam_optimizer(2, 2, 0).transformations().to_vec(),
-            SearchConfig { max_iterations: 1, ..SearchConfig::default() },
+            SearchConfig {
+                max_iterations: 1,
+                ..SearchConfig::default()
+            },
         );
         let mut c = Circuit::new(2, 0);
         for _ in 0..4 {
@@ -317,6 +524,28 @@ mod tests {
         }
         let result = opt.optimize(&c);
         assert!(result.iterations <= 1);
+    }
+
+    #[test]
+    fn batched_iteration_budget_is_respected_too() {
+        let opt = Optimizer::new(
+            nam_optimizer(2, 2, 0).transformations().to_vec(),
+            SearchConfig {
+                max_iterations: 5,
+                batch_size: 4,
+                ..SearchConfig::default()
+            },
+        );
+        let mut c = Circuit::new(2, 0);
+        for _ in 0..6 {
+            c.push(instruction(Gate::H, &[0]));
+        }
+        let result = opt.optimize(&c);
+        assert!(
+            result.iterations <= 5,
+            "batched dequeues exceeded the budget: {}",
+            result.iterations
+        );
     }
 
     #[test]
@@ -332,5 +561,51 @@ mod tests {
         assert!(costs.windows(2).all(|w| w[1] <= w[0]));
         assert_eq!(*costs.last().unwrap(), result.best_cost);
         assert_eq!(result.best_cost, 0);
+    }
+
+    #[test]
+    fn indexed_and_linear_dispatch_agree_and_index_skips_work() {
+        let base = nam_optimizer(2, 2, 0);
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        let indexed = base.optimize(&c);
+        let linear = Optimizer::new(
+            base.transformations().to_vec(),
+            SearchConfig {
+                use_index: false,
+                ..base.config().clone()
+            },
+        )
+        .optimize(&c);
+        // Same search outcome, strictly fewer pattern-match attempts: the
+        // circuit contains no X, so every X-bearing pattern is skipped.
+        assert_eq!(indexed.best_cost, linear.best_cost);
+        assert_eq!(indexed.iterations, linear.iterations);
+        assert_eq!(indexed.circuits_seen, linear.circuits_seen);
+        assert_eq!(linear.match_skips, 0);
+        assert!(indexed.match_skips > 0, "index should skip X-only patterns");
+        assert!(indexed.match_attempts < linear.match_attempts);
+        assert!(indexed.dispatch_skip_rate() > 0.0);
+        assert_eq!(linear.dispatch_skip_rate(), 0.0);
+    }
+
+    #[test]
+    fn dedup_hits_are_counted() {
+        // Four H's on one qubit: many transformation paths reach the same
+        // two-gate and zero-gate circuits, so the fingerprint seen-set must
+        // report hits.
+        let opt = nam_optimizer(2, 2, 0);
+        let mut c = Circuit::new(2, 0);
+        for _ in 0..4 {
+            c.push(instruction(Gate::H, &[0]));
+        }
+        let result = opt.optimize(&c);
+        assert_eq!(result.best_cost, 0);
+        assert!(
+            result.dedup_hits > 0,
+            "expected duplicate candidates to be dropped"
+        );
     }
 }

@@ -32,9 +32,25 @@ impl Transformation {
 /// Transformations whose target pattern is empty are dropped (an empty
 /// pattern matches everywhere and only ever increases cost), and when
 /// `prune_common_subcircuits` is set, pairs sharing a first or last gate are
-/// dropped too (paper §5.2).
-pub fn transformations_from_ecc_set(set: &EccSet, prune_common_subcircuits: bool) -> Vec<Transformation> {
+/// dropped too (paper §5.2). Identical (target, rewrite) pairs — which arise
+/// when ECC classes overlap — are emitted once, keeping the first
+/// occurrence's position, so duplicated classes no longer multiply the
+/// search's matching work.
+pub fn transformations_from_ecc_set(
+    set: &EccSet,
+    prune_common_subcircuits: bool,
+) -> Vec<Transformation> {
     let mut out = Vec::new();
+    let mut emitted: std::collections::HashSet<(Circuit, Circuit)> =
+        std::collections::HashSet::new();
+    let mut push_unique = |out: &mut Vec<Transformation>, target: &Circuit, rewrite: &Circuit| {
+        if emitted.insert((target.clone(), rewrite.clone())) {
+            out.push(Transformation {
+                target: target.clone(),
+                rewrite: rewrite.clone(),
+            });
+        }
+    };
     for ecc in &set.eccs {
         let rep = ecc.representative().clone();
         for other in ecc.circuits().iter().skip(1) {
@@ -42,10 +58,10 @@ pub fn transformations_from_ecc_set(set: &EccSet, prune_common_subcircuits: bool
                 continue;
             }
             if !other.is_empty() {
-                out.push(Transformation { target: other.clone(), rewrite: rep.clone() });
+                push_unique(&mut out, other, &rep);
             }
             if !rep.is_empty() {
-                out.push(Transformation { target: rep.clone(), rewrite: other.clone() });
+                push_unique(&mut out, &rep, other);
             }
         }
     }
@@ -56,8 +72,7 @@ fn shares_boundary_gate(a: &Circuit, b: &Circuit) -> bool {
     if a.is_empty() || b.is_empty() {
         return false;
     }
-    a.instructions()[0] == b.instructions()[0]
-        || a.instructions().last() == b.instructions().last()
+    a.instructions()[0] == b.instructions()[0] || a.instructions().last() == b.instructions().last()
 }
 
 /// Produces a canonical sequence representation of a circuit: the
@@ -150,6 +165,33 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_classes_do_not_duplicate_transformations() {
+        // Two ECCs containing the same pair of circuits: the (target, rewrite)
+        // pairs coincide and must be emitted once.
+        let mut hh = Circuit::new(1, 0);
+        hh.push(h(0));
+        hh.push(h(0));
+        let mut xx = Circuit::new(1, 0);
+        xx.push(instruction(Gate::X, &[0]));
+        xx.push(instruction(Gate::X, &[0]));
+        let mut set = EccSet::new(1, 0);
+        set.eccs.push(Ecc::new(vec![hh.clone(), xx.clone()]));
+        set.eccs.push(Ecc::new(vec![hh.clone(), xx.clone()]));
+        let xforms = transformations_from_ecc_set(&set, false);
+        assert_eq!(
+            xforms.len(),
+            2,
+            "duplicated ECC must not duplicate transformations"
+        );
+        // A distinct pair in a third class still comes through.
+        let mut zz = Circuit::new(1, 0);
+        zz.push(instruction(Gate::Z, &[0]));
+        zz.push(instruction(Gate::Z, &[0]));
+        set.eccs.push(Ecc::new(vec![hh.clone(), zz]));
+        assert_eq!(transformations_from_ecc_set(&set, false).len(), 4);
+    }
+
+    #[test]
     fn common_boundary_pruning_drops_pairs() {
         let mut a = Circuit::new(1, 0);
         a.push(h(0));
@@ -188,7 +230,11 @@ mod tests {
         let canon = canonicalize(&c);
         assert!(equivalent_up_to_phase(&canon, &c, &[], 1e-10));
         // The CNOT cannot move before the H on its control.
-        let pos_h0 = canon.instructions().iter().position(|i| *i == h(0)).unwrap();
+        let pos_h0 = canon
+            .instructions()
+            .iter()
+            .position(|i| *i == h(0))
+            .unwrap();
         let pos_cx = canon
             .instructions()
             .iter()

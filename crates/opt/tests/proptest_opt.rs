@@ -58,8 +58,60 @@ fn arb_clifford_t_circuit(nq: usize, max_len: usize) -> impl Strategy<Value = Ci
     })
 }
 
+/// Rebuilds `circuit` in a different topological order of its wire-dependency
+/// DAG, choosing among the ready instructions with `picks` (Kahn's algorithm
+/// with an arbitrary tie-break). The result is a reordering of the same
+/// circuit DAG, so it must canonicalize — and therefore fingerprint — to the
+/// same value.
+fn random_topological_reorder(circuit: &Circuit, picks: &[usize]) -> Circuit {
+    let instrs = circuit.instructions();
+    let preds = circuit.wire_predecessors();
+    let n = instrs.len();
+    let mut indegree = vec![0usize; n];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for p in ps.iter().flatten() {
+            indegree[i] += 1;
+            successors[*p].push(i);
+        }
+    }
+    let mut available: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    let mut step = 0usize;
+    while !available.is_empty() {
+        let pick = picks.get(step % picks.len().max(1)).copied().unwrap_or(0) % available.len();
+        step += 1;
+        let chosen = available.swap_remove(pick);
+        out.push(instrs[chosen].clone());
+        for &s in &successors[chosen] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                available.push(s);
+            }
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fingerprint_agrees_with_canonical_form_equality(
+        c in arb_clifford_t_circuit(3, 10),
+        picks in prop::collection::vec(0usize..64, 16),
+    ) {
+        // A topological reorder represents the same circuit DAG: canonical
+        // forms must coincide, and equal canonical forms must imply equal
+        // fingerprints (the seen-set soundness property of DESIGN.md §2.1).
+        let reordered = random_topological_reorder(&c, &picks);
+        let canon_a = canonicalize(&c);
+        let canon_b = canonicalize(&reordered);
+        prop_assert_eq!(&canon_a, &canon_b);
+        prop_assert_eq!(canon_a.fingerprint(), canon_b.fingerprint());
+        // Fingerprinting is a pure function of the canonical sequence.
+        prop_assert_eq!(canon_a.fingerprint(), canonicalize(&canon_a).fingerprint());
+    }
 
     #[test]
     fn canonicalize_preserves_semantics(c in arb_clifford_t_circuit(3, 10)) {
@@ -129,7 +181,11 @@ fn transformations_from_generated_sets_preserve_semantics_when_applied() {
     let mut circuit = Circuit::new(2, 0);
     circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
     circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
-    circuit.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(2)]));
+    circuit.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::constant_pi4(2)],
+    ));
     circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
     let mut applications = 0;
     for xform in &xforms {
@@ -141,5 +197,8 @@ fn transformations_from_generated_sets_preserve_semantics_when_applied() {
             );
         }
     }
-    assert!(applications > 0, "expected at least one applicable transformation");
+    assert!(
+        applications > 0,
+        "expected at least one applicable transformation"
+    );
 }

@@ -23,7 +23,10 @@ pub struct PhaseFactor {
 impl PhaseFactor {
     /// The constant phase factor b·π/4.
     pub fn constant(pi4_units: i64) -> Self {
-        PhaseFactor { param_coeffs: Vec::new(), pi4_units }
+        PhaseFactor {
+            param_coeffs: Vec::new(),
+            pi4_units,
+        }
     }
 
     /// The trivial phase factor β = 0.
@@ -120,7 +123,10 @@ pub fn candidate_phases(
     let mut out = Vec::new();
     for coeffs in coefficient_vectors(num_params, max_coeff) {
         for b in 0..8i64 {
-            let phase = PhaseFactor { param_coeffs: coeffs.clone(), pi4_units: b };
+            let phase = PhaseFactor {
+                param_coeffs: coeffs.clone(),
+                pi4_units: b,
+            };
             let beta = phase.eval(&ctx.param_values);
             let diff = angle_distance(beta, target_angle);
             if diff < 10.0 * tolerance {
@@ -149,7 +155,10 @@ mod tests {
 
     #[test]
     fn phase_factor_eval_and_poly_agree() {
-        let phase = PhaseFactor { param_coeffs: vec![1, -2], pi4_units: 3 };
+        let phase = PhaseFactor {
+            param_coeffs: vec![1, -2],
+            pi4_units: 3,
+        };
         let params = [0.7, -1.1];
         let beta = phase.eval(&params);
         let expected = Complex64::from_polar_unit(beta);
@@ -200,7 +209,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(PhaseFactor::identity().to_string(), "exp(i*(0*pi/4))");
-        let p = PhaseFactor { param_coeffs: vec![2, 0], pi4_units: 1 };
+        let p = PhaseFactor {
+            param_coeffs: vec![2, 0],
+            pi4_units: 1,
+        };
         assert_eq!(p.to_string(), "exp(i*(2*p0 + 1*pi/4))");
     }
 }

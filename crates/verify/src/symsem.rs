@@ -101,10 +101,18 @@ mod tests {
     #[test]
     fn parametric_circuit_matches_numeric() {
         let mut c = Circuit::new(2, 2);
-        c.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, 2)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::var(0, 2)],
+        ));
         c.push(Instruction::new(Gate::H, vec![1], vec![]));
         c.push(Instruction::new(Gate::Cnot, vec![1, 0], vec![]));
-        c.push(Instruction::new(Gate::Rz, vec![1], vec![ParamExpr::var(1, 2)]));
+        c.push(Instruction::new(
+            Gate::Rz,
+            vec![1],
+            vec![ParamExpr::var(1, 2)],
+        ));
         for params in [[0.3, -1.2], [0.0, 0.0], [2.5, 0.7]] {
             check_against_numeric(&c, &params);
         }
@@ -123,7 +131,11 @@ mod tests {
         let c = Circuit::new(2, 0);
         let u = circuit_unitary(&c).unwrap();
         for (r, c_idx, p) in u.entries() {
-            let expected = if r == c_idx { Complex64::one() } else { Complex64::zero() };
+            let expected = if r == c_idx {
+                Complex64::one()
+            } else {
+                Complex64::zero()
+            };
             assert!(p.eval_f64(&[]).approx_eq(expected, 1e-12));
         }
     }

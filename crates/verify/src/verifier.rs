@@ -37,7 +37,12 @@ pub struct VerifierConfig {
 
 impl Default for VerifierConfig {
     fn default() -> Self {
-        VerifierConfig { max_phase_coeff: 0, tolerance: 1e-7, prefilter_points: 1, seed: 0xC0FFEE }
+        VerifierConfig {
+            max_phase_coeff: 0,
+            tolerance: 1e-7,
+            prefilter_points: 1,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -132,13 +137,19 @@ impl Default for Verifier {
 impl Verifier {
     /// Creates a verifier with the given configuration.
     pub fn new(config: VerifierConfig) -> Self {
-        Verifier { config, stats: VerifierStats::default() }
+        Verifier {
+            config,
+            stats: VerifierStats::default(),
+        }
     }
 
     /// Creates a verifier that searches parameter-dependent phase factors
     /// with coefficients in `{-max..=max}` (the paper's general mechanism).
     pub fn with_phase_coeff_range(max: i64) -> Self {
-        Verifier::new(VerifierConfig { max_phase_coeff: max, ..VerifierConfig::default() })
+        Verifier::new(VerifierConfig {
+            max_phase_coeff: max,
+            ..VerifierConfig::default()
+        })
     }
 
     /// The configuration in use.
@@ -166,7 +177,10 @@ impl Verifier {
     pub fn equivalent(&mut self, c1: &Circuit, c2: &Circuit) -> Result<Verdict, VerifyError> {
         self.stats.queries += 1;
         if c1.num_qubits() != c2.num_qubits() {
-            return Err(VerifyError::QubitCountMismatch(c1.num_qubits(), c2.num_qubits()));
+            return Err(VerifyError::QubitCountMismatch(
+                c1.num_qubits(),
+                c2.num_qubits(),
+            ));
         }
         let num_params = c1.num_params().max(c2.num_params());
 
@@ -224,7 +238,11 @@ impl Verifier {
     }
 
     /// Checks ⟦C₁⟧ = e^{iβ}·⟦C₂⟧ exactly, entry by entry.
-    fn matrices_equal_with_phase(u1: &Matrix<Poly>, u2: &Matrix<Poly>, phase: &PhaseFactor) -> bool {
+    fn matrices_equal_with_phase(
+        u1: &Matrix<Poly>,
+        u2: &Matrix<Poly>,
+        phase: &PhaseFactor,
+    ) -> bool {
         let phase_poly = phase.to_poly();
         for (r, c, p1) in u1.entries() {
             let p2 = u2.get(r, c);
@@ -309,7 +327,11 @@ mod tests {
         // constant-only verifier and serves as a regression test for the
         // distinction.
         let mut u1 = Circuit::new(1, 1);
-        u1.push(Instruction::new(Gate::U1, vec![0], vec![ParamExpr::var(0, 1)]));
+        u1.push(Instruction::new(
+            Gate::U1,
+            vec![0],
+            vec![ParamExpr::var(0, 1)],
+        ));
         let mut rz_c = Circuit::new(1, 1);
         rz_c.push(rz(0, 0, 1));
         let mut v = Verifier::default();
@@ -317,9 +339,17 @@ mod tests {
         // With the scaled expression U1(2·p0) vs Rz(2·p0), the phase e^{i·p0}
         // has integer coefficient 1 and the pair verifies as equivalent.
         let mut u1_2 = Circuit::new(1, 1);
-        u1_2.push(Instruction::new(Gate::U1, vec![0], vec![ParamExpr::scaled_var(0, 2, 1)]));
+        u1_2.push(Instruction::new(
+            Gate::U1,
+            vec![0],
+            vec![ParamExpr::scaled_var(0, 2, 1)],
+        ));
         let mut rz_2 = Circuit::new(1, 1);
-        rz_2.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::scaled_var(0, 2, 1)]));
+        rz_2.push(Instruction::new(
+            Gate::Rz,
+            vec![0],
+            vec![ParamExpr::scaled_var(0, 2, 1)],
+        ));
         let mut v2 = Verifier::with_phase_coeff_range(2);
         let verdict = v2.equivalent(&u1_2, &rz_2).unwrap();
         match verdict {
@@ -354,7 +384,10 @@ mod tests {
         let a = Circuit::new(1, 0);
         let b = Circuit::new(2, 0);
         let mut v = Verifier::default();
-        assert!(matches!(v.equivalent(&a, &b), Err(VerifyError::QubitCountMismatch(1, 2))));
+        assert!(matches!(
+            v.equivalent(&a, &b),
+            Err(VerifyError::QubitCountMismatch(1, 2))
+        ));
     }
 
     #[test]

@@ -8,7 +8,10 @@ use quartz::gen::{prune, GenConfig, Generator};
 use quartz::ir::GateSet;
 
 fn main() {
-    let max_n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
     let out_dir = std::env::temp_dir().join("quartz_ecc_sets");
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
@@ -17,7 +20,10 @@ fn main() {
         (GateSet::ibm(), 4),
         (GateSet::rigetti(), 2),
     ];
-    println!("{:<10} {:>3} {:>10} {:>10} {:>12} {:>12}", "gate set", "n", "|T|", "|R_n|", "verify (s)", "total (s)");
+    println!(
+        "{:<10} {:>3} {:>10} {:>10} {:>12} {:>12}",
+        "gate set", "n", "|T|", "|R_n|", "verify (s)", "total (s)"
+    );
     for (gate_set, m) in targets {
         for n in 1..=max_n {
             let config = GenConfig::standard(n, 2, m);

@@ -11,26 +11,44 @@ use quartz::opt::{greedy_optimize, preprocess_nam, Optimizer, SearchConfig};
 use std::time::Duration;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "tof_3".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tof_3".to_string());
     let circuit = match suite::build_clifford_t(&name) {
         Some(c) => c,
         None => {
-            eprintln!("unknown benchmark {name:?}; available: {:?}", suite::BENCHMARK_NAMES);
+            eprintln!(
+                "unknown benchmark {name:?}; available: {:?}",
+                suite::BENCHMARK_NAMES
+            );
             std::process::exit(1);
         }
     };
-    println!("Benchmark {name}: {} Clifford+T gates over {} qubits", circuit.gate_count(), circuit.num_qubits());
+    println!(
+        "Benchmark {name}: {} Clifford+T gates over {} qubits",
+        circuit.gate_count(),
+        circuit.num_qubits()
+    );
 
     // Greedy rule-based baseline (the class of optimizer Quartz is compared
     // against in the paper).
     let (greedy, gstats) = greedy_optimize(&circuit);
-    println!("Greedy rule-based baseline: {} gates ({} passes)", greedy.gate_count(), gstats.passes);
+    println!(
+        "Greedy rule-based baseline: {} gates ({} passes)",
+        greedy.gate_count(),
+        gstats.passes
+    );
 
     // Quartz preprocessing (paper §7.1).
     let preprocessed = preprocess_nam(&circuit);
-    println!("Quartz preprocess (Toffoli decomposition + rotation merging): {} gates", preprocessed.gate_count());
+    println!(
+        "Quartz preprocess (Toffoli decomposition + rotation merging): {} gates",
+        preprocessed.gate_count()
+    );
 
-    // Quartz search with a small learned transformation library.
+    // Quartz search with a small learned transformation library, using the
+    // batched parallel engine (batch_size > 1 expands the frontier on worker
+    // threads; dispatch goes through the transformation index).
     println!("Generating a (3, 2)-complete ECC set for the Nam gate set...");
     let (ecc_set, _) = Generator::new(GateSet::nam(), GenConfig::standard(3, 2, 2)).run();
     let optimizer = Optimizer::from_ecc_set(
@@ -38,6 +56,7 @@ fn main() {
         SearchConfig {
             timeout: Duration::from_secs(10),
             max_iterations: 100,
+            batch_size: 8,
             ..SearchConfig::default()
         },
     );
@@ -47,5 +66,15 @@ fn main() {
         result.best_cost,
         100.0 * (1.0 - result.best_cost as f64 / circuit.gate_count() as f64),
         result.iterations
+    );
+    println!(
+        "Search engine: {} pattern matches attempted, {} skipped by the index \
+         ({:.1}% skip rate), {} duplicate candidates dropped by fingerprint, \
+         {} distinct circuits seen",
+        result.match_attempts,
+        result.match_skips,
+        100.0 * result.dispatch_skip_rate(),
+        result.dedup_hits,
+        result.circuits_seen
     );
 }

@@ -38,10 +38,14 @@ fn main() {
     circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
     circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
     circuit.push(Instruction::new(Gate::H, vec![1], vec![]));
-    println!("\nInput circuit ({} gates): {circuit}", circuit.gate_count());
+    println!(
+        "\nInput circuit ({} gates): {circuit}",
+        circuit.gate_count()
+    );
 
     // 4. Optimize with the cost-based backtracking search (paper §6).
-    let optimizer = Optimizer::from_ecc_set(&pruned, SearchConfig::with_timeout(Duration::from_secs(5)));
+    let optimizer =
+        Optimizer::from_ecc_set(&pruned, SearchConfig::with_timeout(Duration::from_secs(5)));
     let result = optimizer.optimize(&circuit);
     println!(
         "Optimized circuit ({} gates, {:.1}% reduction after {} search iterations): {}",
@@ -50,8 +54,15 @@ fn main() {
         result.iterations,
         result.best_circuit
     );
+    println!(
+        "Dispatch: {} pattern matches attempted, {} skipped by the index, {} dedup hits",
+        result.match_attempts, result.match_skips, result.dedup_hits
+    );
 
     // 5. Double-check the result numerically.
     let ok = quartz::ir::equivalent_up_to_phase(&circuit, &result.best_circuit, &[], 1e-9);
-    println!("Numeric equivalence check (up to global phase): {}", if ok { "passed" } else { "FAILED" });
+    println!(
+        "Numeric equivalence check (up to global phase): {}",
+        if ok { "passed" } else { "FAILED" }
+    );
 }

@@ -30,17 +30,37 @@ fn main() {
     // Identity 2: rotation fusion with symbolic parameters.
     let m = 2;
     let mut two = Circuit::new(1, m);
-    two.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(0, m)]));
-    two.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::var(1, m)]));
+    two.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::var(0, m)],
+    ));
+    two.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::var(1, m)],
+    ));
     let mut fused = Circuit::new(1, m);
-    fused.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::sum_vars(0, 1, m)]));
+    fused.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::sum_vars(0, 1, m)],
+    ));
     report(&mut verifier, "Rz(p0)·Rz(p1)  ≟  Rz(p0+p1)", &two, &fused);
 
     // Identity 3: a parameter-dependent phase factor — U1(2p) vs Rz(2p).
     let mut u1 = Circuit::new(1, 1);
-    u1.push(Instruction::new(Gate::U1, vec![0], vec![ParamExpr::scaled_var(0, 2, 1)]));
+    u1.push(Instruction::new(
+        Gate::U1,
+        vec![0],
+        vec![ParamExpr::scaled_var(0, 2, 1)],
+    ));
     let mut rz = Circuit::new(1, 1);
-    rz.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::scaled_var(0, 2, 1)]));
+    rz.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::scaled_var(0, 2, 1)],
+    ));
     report(&mut verifier, "U1(2p0)  ≟  Rz(2p0)", &u1, &rz);
 
     // Non-identity: T and S are not equivalent.
@@ -51,8 +71,10 @@ fn main() {
     report(&mut verifier, "T  ≟  S", &t, &s);
 
     let stats = verifier.stats();
-    println!("\nVerifier statistics: {} queries, {} exact symbolic checks, {} verified equivalent.",
-        stats.queries, stats.symbolic_checks, stats.verified_equivalent);
+    println!(
+        "\nVerifier statistics: {} queries, {} exact symbolic checks, {} verified equivalent.",
+        stats.queries, stats.symbolic_checks, stats.verified_equivalent
+    );
 }
 
 fn report(verifier: &mut Verifier, label: &str, a: &Circuit, b: &Circuit) {

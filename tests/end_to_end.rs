@@ -22,7 +22,10 @@ fn generated_transformations_are_all_verified_and_numerically_sound() {
     for ecc in &set.eccs {
         let rep = ecc.representative();
         for member in ecc.circuits().iter().skip(1) {
-            assert!(verifier.check(rep, member).unwrap(), "unsound class member: {rep} vs {member}");
+            assert!(
+                verifier.check(rep, member).unwrap(),
+                "unsound class member: {rep} vs {member}"
+            );
             assert!(equivalent_up_to_phase(rep, member, &[0.3217], 1e-8));
         }
     }
@@ -48,7 +51,12 @@ fn preprocessing_and_search_preserve_semantics_on_a_small_benchmark() {
     );
     let result = optimizer.optimize(&preprocessed);
     assert!(result.best_cost <= preprocessed.gate_count());
-    assert!(equivalent_up_to_phase(&original, &result.best_circuit, &[], 1e-8));
+    assert!(equivalent_up_to_phase(
+        &original,
+        &result.best_circuit,
+        &[],
+        1e-8
+    ));
 }
 
 #[test]
@@ -122,8 +130,17 @@ fn figure_6_style_cnot_flip_sequence_is_reachable() {
     circuit.push(Instruction::new(Gate::H, vec![1], vec![]));
     circuit.push(Instruction::new(Gate::Cnot, vec![1, 2], vec![]));
     let result = optimizer.optimize(&circuit);
-    assert!(result.best_cost <= 2, "expected the Hadamards to cancel, got {}", result.best_cost);
-    assert!(equivalent_up_to_phase(&circuit, &result.best_circuit, &[], 1e-9));
+    assert!(
+        result.best_cost <= 2,
+        "expected the Hadamards to cancel, got {}",
+        result.best_cost
+    );
+    assert!(equivalent_up_to_phase(
+        &circuit,
+        &result.best_circuit,
+        &[],
+        1e-9
+    ));
 }
 
 #[test]
@@ -141,7 +158,8 @@ fn custom_gate_set_pipeline_works_end_to_end() {
     let gate_set = GateSet::new("HS", vec![Gate::H, Gate::S, Gate::Sdg]);
     let (raw, _) = Generator::new(gate_set, GenConfig::standard(4, 1, 0)).run();
     let (set, _) = prune(&raw);
-    let optimizer = Optimizer::from_ecc_set(&set, SearchConfig::with_timeout(Duration::from_secs(5)));
+    let optimizer =
+        Optimizer::from_ecc_set(&set, SearchConfig::with_timeout(Duration::from_secs(5)));
     // S·S·S·S = identity; H·S·Sdg·H = identity.
     let mut circuit = Circuit::new(1, 0);
     for _ in 0..4 {
@@ -153,7 +171,12 @@ fn custom_gate_set_pipeline_works_end_to_end() {
     circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
     let result = optimizer.optimize(&circuit);
     assert!(result.best_cost <= 2, "got {}", result.best_cost);
-    assert!(equivalent_up_to_phase(&circuit, &result.best_circuit, &[], 1e-9));
+    assert!(equivalent_up_to_phase(
+        &circuit,
+        &result.best_circuit,
+        &[],
+        1e-9
+    ));
 }
 
 #[test]
@@ -161,11 +184,23 @@ fn parametric_rotation_merging_happens_through_learned_transformations() {
     // Rz(π/4)·Rz(π/2) on the same wire should fuse via the symbolic
     // Rz(p0)·Rz(p1) ≡ Rz(p0+p1) transformation.
     let set = nam_ecc_set(2, 1, 2);
-    let optimizer = Optimizer::from_ecc_set(&set, SearchConfig::with_timeout(Duration::from_secs(3)));
+    let optimizer =
+        Optimizer::from_ecc_set(&set, SearchConfig::with_timeout(Duration::from_secs(3)));
     let mut circuit = Circuit::new(1, 0);
-    circuit.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(1)]));
-    circuit.push(Instruction::new(Gate::Rz, vec![0], vec![ParamExpr::constant_pi4(2)]));
+    circuit.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::constant_pi4(1)],
+    ));
+    circuit.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::constant_pi4(2)],
+    ));
     let result = optimizer.optimize(&circuit);
     assert_eq!(result.best_cost, 1);
-    assert_eq!(result.best_circuit.instructions()[0].params[0].const_pi4(), 3);
+    assert_eq!(
+        result.best_circuit.instructions()[0].params[0].const_pi4(),
+        3
+    );
 }

@@ -1,0 +1,609 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds with no crates.io access, so this vendored crate
+//! implements the subset of proptest the test suites use: strategies over
+//! integer/float ranges, `Just`, tuples, `prop_oneof!`, `prop::collection::vec`,
+//! `prop_map` / `prop_filter_map`, `any::<T>()`, and the `proptest!` macro with
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from the real proptest (documented in DESIGN.md §4):
+//!
+//! * failing cases are **not shrunk** — the failing input is reported as-is;
+//! * random generation is seeded deterministically from the test name, so
+//!   every run exercises the same cases (reproducible CI).
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// `generate` returns `None` when a filter rejects the drawn value; the
+    /// runner then retries the whole case with fresh randomness.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value, or `None` on a local rejection.
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Maps generated values through `f`, rejecting the case when `f`
+        /// returns `None`. `whence` labels the filter in diagnostics.
+        fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                inner: self,
+                f,
+                _whence: whence,
+            }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                generate: Box::new(move |rng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+        _whence: &'static str,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.generate(rng).and_then(&self.f)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        #[allow(clippy::type_complexity)]
+        generate: Box<dyn Fn(&mut TestRng) -> Option<T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            (self.generate)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics on an empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let r = rng.next_u128() % span;
+                    Some(((self.start as i128) + r as i128) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128)
+                        .wrapping_sub(*self.start() as i128) as u128 + 1;
+                    let r = rng.next_u128() % span;
+                    Some(((*self.start() as i128) + r as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+            assert!(self.start < self.end, "empty range strategy");
+            Some(self.start + rng.next_f64() * (self.end - self.start))
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point for types with a canonical strategy.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A` (mirrors `proptest::arbitrary::any`).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Full-domain strategy for a primitive type.
+    pub struct FullRange<T>(core::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty => $gen:expr),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+                #[allow(clippy::redundant_closure_call)]
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(($gen)(rng))
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullRange(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints! {
+        u8 => |rng: &mut TestRng| rng.next_u64() as u8,
+        u16 => |rng: &mut TestRng| rng.next_u64() as u16,
+        u32 => |rng: &mut TestRng| rng.next_u64() as u32,
+        u64 => |rng: &mut TestRng| rng.next_u64(),
+        u128 => |rng: &mut TestRng| rng.next_u128(),
+        usize => |rng: &mut TestRng| rng.next_u64() as usize,
+        i8 => |rng: &mut TestRng| rng.next_u64() as i8,
+        i16 => |rng: &mut TestRng| rng.next_u64() as i16,
+        i32 => |rng: &mut TestRng| rng.next_u64() as i32,
+        i64 => |rng: &mut TestRng| rng.next_u64() as i64,
+        i128 => |rng: &mut TestRng| rng.next_u128() as i128,
+        isize => |rng: &mut TestRng| rng.next_u64() as isize,
+        bool => |rng: &mut TestRng| rng.next_u64() & 1 == 1,
+        f64 => |rng: &mut TestRng| rng.next_f64() * 2e6 - 1e6
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner behind the `proptest!` macro.
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Outcome of one test case body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected (`prop_assume!` failed or a filter rejected);
+        /// the runner retries with fresh randomness.
+        Reject(String),
+        /// A `prop_assert*!` failed; the runner panics with this message.
+        Fail(String),
+    }
+
+    /// Deterministic SplitMix64 generator.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Next 128 random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// FNV-1a over the test name, used to seed its RNG deterministically.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `case` until `config.cases` cases have been accepted, panicking on
+    /// the first failure. Rejections are retried with fresh randomness up to a
+    /// global cap.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let seed = seed_from_name(name);
+        let max_rejects = (config.cases as u64).saturating_mul(256).max(4096);
+        let mut accepted: u32 = 0;
+        let mut rejected: u64 = 0;
+        let mut attempt: u64 = 0;
+        while accepted < config.cases {
+            let mut rng =
+                TestRng::new(seed.wrapping_add(attempt.wrapping_mul(0x2545_f491_4f6c_dd1d)));
+            attempt += 1;
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest {name}: too many rejected cases ({rejected}); \
+                         loosen the strategy or the prop_assume! conditions"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest {name} failed at case {accepted} (attempt {attempt}): {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! Mirror of the `prop` module path exposed by the real prelude.
+        pub use crate::collection;
+    }
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Rejects the current case (retried with fresh randomness) when `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($config) $($rest)*);
+    };
+    (@tests ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $(let $arg = $strat;)+
+            $crate::test_runner::run(&config, stringify!($name), |rng| {
+                $(
+                    let $arg = match $crate::strategy::Strategy::generate(&$arg, rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => {
+                            return ::core::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject(
+                                    ::std::string::String::from("strategy filter"),
+                                ),
+                            )
+                        }
+                    };
+                )+
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })()
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::new(42);
+        let mut b = crate::test_runner::TestRng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i32..=5, y in 1usize..10, z in -2.0f64..2.0) {
+            prop_assert!((-5..=5).contains(&x));
+            prop_assert!((1..10).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&z));
+        }
+
+        #[test]
+        fn filters_and_maps_compose(
+            v in prop::collection::vec((0usize..10).prop_map(|n| n * 2), 3),
+            w in (0usize..100).prop_filter_map("even only", |n| if n % 2 == 0 { Some(n) } else { None }),
+        ) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(v.iter().all(|n| n % 2 == 0));
+            prop_assert_eq!(w % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_assume_work(g in prop_oneof![Just(1u8), Just(2u8)], n in 0u8..4) {
+            prop_assume!(n > 0);
+            prop_assert!(g == 1 || g == 2);
+            prop_assert_ne!(n, 0);
+        }
+
+        #[test]
+        fn any_generates_full_domain(x in any::<i128>()) {
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace builds with no crates.io access, so this vendored crate
+//! implements the one parallel primitive the optimizer's search engine needs:
+//! an order-preserving `par_iter().map(f).collect()` over slices, executed on
+//! scoped OS threads. Work is split into contiguous chunks, one per worker,
+//! and chunk results are re-joined in input order, so a `collect` is
+//! deterministic regardless of thread scheduling.
+//!
+//! Differences from the real rayon (documented in DESIGN.md §4):
+//!
+//! * no global thread pool — threads are spawned per `collect` call, which is
+//!   fine for the search's coarse batch granularity;
+//! * [`ParIter::with_max_threads`] replaces pool configuration;
+//! * only `map` + `collect` are provided.
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads used by default (mirrors
+/// `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion of `&self` into a parallel iterator, mirroring rayon's trait of
+/// the same name.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            items: self,
+            max_threads: current_num_threads(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            items: self.as_slice(),
+            max_threads: current_num_threads(),
+        }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+    max_threads: usize,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Caps the number of worker threads used by the eventual `collect`
+    /// (stand-in for rayon's thread-pool configuration).
+    pub fn with_max_threads(mut self, n: usize) -> Self {
+        self.max_threads = n.max(1);
+        self
+    }
+
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            max_threads: self.max_threads,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    max_threads: usize,
+    f: F,
+}
+
+impl<T: Sync, R: Send, F: Fn(&T) -> R + Sync> ParMap<'_, T, F> {
+    /// Runs the map on worker threads and collects the results **in input
+    /// order** — thread scheduling never affects the output.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let threads = self.max_threads.min(n).max(1);
+        if threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_len = n.div_ceil(threads);
+        let f = &self.f;
+        let mut chunk_results: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                chunk_results.push(handle.join().expect("parallel map worker panicked"));
+            }
+        });
+        chunk_results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs_work() {
+        let items: Vec<usize> = vec![7];
+        let out: Vec<usize> = items
+            .par_iter()
+            .with_max_threads(1)
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(out, vec![8]);
+        let empty: Vec<usize> = Vec::new();
+        let out: Vec<usize> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_cap_is_respected_logically() {
+        let items: Vec<usize> = (0..17).collect();
+        let out: Vec<usize> = items
+            .par_iter()
+            .with_max_threads(4)
+            .map(|x| x * x)
+            .collect();
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[16], 256);
+    }
+}

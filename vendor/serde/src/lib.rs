@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! vendored crate supplies just enough surface for `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` to compile: the marker
+//! traits below (type namespace) and the no-op derives re-exported from
+//! `serde_derive` (macro namespace). Durable persistence in this workspace
+//! goes through the hand-written JSON codec in `quartz-gen` instead; see
+//! DESIGN.md §4.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. No methods; the no-op derive
+/// does not implement it, it exists so the name resolves in `use` items.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! No-op replacements for serde's `Serialize` / `Deserialize` derive macros.
+//!
+//! This workspace builds in fully offline environments where crates.io is
+//! unreachable, so the real `serde` cannot be fetched. The codebase only uses
+//! the derives as annotations (actual persistence goes through the
+//! hand-written JSON codec in `quartz-gen`), so the derives expand to nothing.
+//! See DESIGN.md §4 for the vendoring policy.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the annotated type gains no trait impls.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the annotated type gains no trait impls.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
