@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for the optimizer (paper §6): preprocessing,
-//! the greedy baseline, short cost-based searches on benchmark circuits, and
-//! the indexed-vs-linear dispatch comparison on QFT-8 (DESIGN.md §2.2).
+//! the greedy baseline, short cost-based searches on benchmark circuits, the
+//! indexed-vs-linear dispatch comparison on QFT-8 (DESIGN.md §2.2), and the
+//! incremental-vs-rebuilt match-context comparison on QFT-8 (DESIGN.md §5).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use quartz_bench::{build_ecc_set, GateSetKind};
@@ -91,11 +92,62 @@ fn bench_dispatch_qft8(c: &mut Criterion) {
     group.finish();
 }
 
+/// Incremental vs rebuilt match contexts on QFT-8 (DESIGN.md §5): the same
+/// search, but per-iteration context cost drops from O(circuit) — rebuilding
+/// wire adjacency and gate buckets from the sequence form on every dequeue —
+/// to O(rewrite footprint) on top of a flat clone. The printed counters show
+/// the incremental run rebuilding only the frontier root.
+fn bench_incremental_contexts_qft8(c: &mut Criterion) {
+    let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+    let qft = approximate_qft(8);
+    let config = SearchConfig {
+        timeout: Duration::from_secs(120),
+        max_iterations: 8,
+        ..SearchConfig::default()
+    };
+    let incremental = Optimizer::from_ecc_set(&ecc_set, config.clone());
+    let rebuild_all = Optimizer::from_ecc_set(
+        &ecc_set,
+        SearchConfig {
+            incremental_contexts: false,
+            ..config
+        },
+    );
+
+    let inc = incremental.optimize(&qft);
+    let reb = rebuild_all.optimize(&qft);
+    println!(
+        "qft_8 contexts: incremental {} rebuilds + {} derives over {} iterations \
+         ({:.1}% derived), rebuild-all {} rebuilds; best cost {} vs {}",
+        inc.ctx_rebuilds,
+        inc.ctx_derives,
+        inc.iterations,
+        100.0 * inc.ctx_derive_rate(),
+        reb.ctx_rebuilds,
+        inc.best_cost,
+        reb.best_cost,
+    );
+    assert_eq!(inc.ctx_rebuilds, 1);
+    assert!(inc.ctx_derives > 0);
+    assert_eq!(inc.best_cost, reb.best_cost);
+
+    let mut group = c.benchmark_group("contexts_qft_8");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter(|| std::hint::black_box(incremental.optimize(&qft).ctx_derives))
+    });
+    group.bench_function("rebuild_all", |b| {
+        b.iter(|| std::hint::black_box(rebuild_all.optimize(&qft).ctx_rebuilds))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_preprocessing,
     bench_greedy_baseline,
     bench_search_iterations,
-    bench_dispatch_qft8
+    bench_dispatch_qft8,
+    bench_incremental_contexts_qft8
 );
 criterion_main!(benches);

@@ -306,7 +306,7 @@ pub fn print_optimization_table(
         scale.search_timeout
     );
     println!(
-        "{:<16} {:>8} {:>14} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "{:<16} {:>8} {:>14} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "Circuit",
         "Orig.",
         "GreedyRules",
@@ -314,11 +314,12 @@ pub fn print_optimization_table(
         "Quartz",
         "Reduction",
         "IdxSkip%",
-        "DedupHits"
+        "DedupHits",
+        "CtxDrv%"
     );
     for r in rows {
         println!(
-            "{:<16} {:>8} {:>14} {:>12} {:>12} {:>9.1}% {:>9.1}% {:>10}",
+            "{:<16} {:>8} {:>14} {:>12} {:>12} {:>9.1}% {:>9.1}% {:>10} {:>9.1}%",
             r.name,
             r.original,
             r.greedy_baseline,
@@ -326,7 +327,8 @@ pub fn print_optimization_table(
             r.quartz,
             100.0 * (1.0 - r.quartz as f64 / r.original.max(1) as f64),
             100.0 * r.search.dispatch_skip_rate(),
-            r.search.dedup_hits
+            r.search.dedup_hits,
+            100.0 * r.search.ctx_derive_rate()
         );
     }
     let preprocess_red = geo_mean_reduction(rows, |r| r.preprocessed);
@@ -505,6 +507,8 @@ mod tests {
             match_attempts: 0,
             match_skips: 0,
             dedup_hits: 0,
+            ctx_rebuilds: 0,
+            ctx_derives: 0,
         };
         let rows = vec![CircuitRow {
             name: "x",
@@ -561,6 +565,48 @@ mod tests {
         );
         assert!(indexed.match_skips > 0);
         assert_eq!(linear.match_skips, 0);
+    }
+
+    /// Acceptance check for the incremental-context layer on QFT-8: the
+    /// incremental engine rebuilds a context only at the frontier root,
+    /// derives everywhere else, and is bit-identical to the engine that
+    /// rebuilds every context from the sequence form.
+    #[test]
+    fn incremental_contexts_on_qft8_derive_everywhere_but_the_root() {
+        let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+        let qft = quartz_circuits::approximate_qft(8);
+        let config = SearchConfig {
+            timeout: Duration::from_secs(120),
+            max_iterations: 8,
+            ..SearchConfig::default()
+        };
+        let incremental = Optimizer::from_ecc_set(&ecc_set, config.clone()).optimize(&qft);
+        let rebuilt = Optimizer::from_ecc_set(
+            &ecc_set,
+            SearchConfig {
+                incremental_contexts: false,
+                ..config
+            },
+        )
+        .optimize(&qft);
+
+        // Context accounting.
+        assert_eq!(
+            incremental.ctx_rebuilds, 1,
+            "only the frontier root may rebuild its context"
+        );
+        assert!(incremental.ctx_derives > 0);
+        assert_eq!(incremental.ctx_derives, incremental.iterations - 1);
+        assert_eq!(rebuilt.ctx_derives, 0);
+        assert_eq!(rebuilt.ctx_rebuilds, rebuilt.iterations);
+
+        // Bit-identical search outcomes.
+        assert_eq!(incremental.best_circuit, rebuilt.best_circuit);
+        assert_eq!(incremental.best_cost, rebuilt.best_cost);
+        assert_eq!(incremental.iterations, rebuilt.iterations);
+        assert_eq!(incremental.circuits_seen, rebuilt.circuits_seen);
+        assert_eq!(incremental.match_attempts, rebuilt.match_attempts);
+        assert_eq!(incremental.dedup_hits, rebuilt.dedup_hits);
     }
 
     /// Determinism of the batched parallel engine: on the NAM (2,2) suite,

@@ -11,6 +11,11 @@
 //!   specification Σ restricting how they may be formed;
 //! * [`Instruction`] / [`Circuit`] — the sequence representation of symbolic
 //!   circuits, including the precedence order ≺ used by RepGen;
+//! * [`CircuitDag`] — the graph representation (nodes = gate instances,
+//!   edges = qubit wires) with stable [`NodeId`]s, lossless
+//!   `Circuit ⇄ CircuitDag` conversion, and in-place
+//!   [`CircuitDag::splice`] used by the optimizer's incremental rewriting
+//!   (DESIGN.md §5);
 //! * [`GateSet`] — the Nam, IBM, Rigetti and Clifford+T gate sets of the
 //!   paper, and the enumeration of single-gate circuits;
 //! * [`semantics`] — state-vector simulation, full unitaries, equivalence up
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 mod circuit;
+pub mod dag;
 mod gate;
 mod gateset;
 mod param;
@@ -49,6 +55,7 @@ pub mod qasm;
 pub mod semantics;
 
 pub use circuit::{Circuit, Instruction};
+pub use dag::{CircuitDag, NodeId, SpliceDelta};
 pub use gate::{Gate, GateHistogram, ALL_GATES};
 pub use gateset::GateSet;
 pub use param::{ExprSpec, ParamExpr, UnsupportedAngleError};

@@ -2,7 +2,7 @@
 //!
 //! The supported subset covers the benchmark circuits used in the Quartz
 //! evaluation: a single quantum register, the gates of
-//! [`Gate`](crate::Gate), and constant angles that are integer multiples of
+//! [`Gate`], and constant angles that are integer multiples of
 //! π/4 (written `pi/4`, `-pi/2`, `3*pi/4`, `0`, …).
 
 use crate::circuit::{Circuit, Instruction};

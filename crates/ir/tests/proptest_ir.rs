@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use quartz_ir::{
-    circuit_unitary, equivalent_up_to_phase, Circuit, FingerprintContext, Gate, GateSet,
-    Instruction, ParamExpr,
+    circuit_unitary, equivalent_up_to_phase, Circuit, CircuitDag, FingerprintContext, Gate,
+    GateSet, Instruction, ParamExpr,
 };
 
 /// Strategy producing a random instruction over `nq` qubits and `m` params
@@ -96,6 +96,34 @@ proptest! {
         let ba = b.precedence_cmp(&a);
         prop_assert_eq!(ab, ba.reverse());
         prop_assert_eq!(a.precedence_cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn dag_round_trip_is_lossless(c in arb_circuit(3, 1, 10)) {
+        // Circuit → CircuitDag → Circuit must reproduce the exact sequence:
+        // equal circuits, equal fingerprints, equal histograms — and the DAG
+        // itself must satisfy every structural invariant.
+        let dag = CircuitDag::from_circuit(&c);
+        prop_assert_eq!(dag.validate(), Ok(()));
+        let back = dag.to_circuit();
+        prop_assert_eq!(&back, &c);
+        prop_assert_eq!(back.fingerprint(), c.fingerprint());
+        prop_assert_eq!(back.gate_histogram(), c.gate_histogram());
+        prop_assert_eq!(dag.gate_count(), c.gate_count());
+    }
+
+    #[test]
+    fn dag_edges_agree_with_wire_predecessors(c in arb_circuit(3, 1, 10)) {
+        // from_circuit assigns node ids in sequence order, so the DAG's preds
+        // must coincide with the sequence form's wire_predecessors.
+        let dag = CircuitDag::from_circuit(&c);
+        let preds = c.wire_predecessors();
+        for (i, expected) in preds.iter().enumerate() {
+            let id = dag.topo_order()[i];
+            let got: Vec<Option<usize>> =
+                dag.preds(id).iter().map(|p| p.map(|n| n.index())).collect();
+            prop_assert_eq!(&got, expected);
+        }
     }
 
     #[test]

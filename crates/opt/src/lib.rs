@@ -6,9 +6,14 @@
 //! Algorithm 2 — implemented as a three-layer engine (DESIGN.md §2):
 //! canonical-form fingerprints for deduplication, a [`TransformationIndex`]
 //! that dispatches only the transformations whose pattern gate-multiset the
-//! circuit can cover, and batched parallel frontier expansion. Also the
-//! preprocessing passes (Toffoli decomposition, rotation merging, gate-set
-//! transpilation) and a greedy rule-based baseline.
+//! circuit can cover, and batched parallel frontier expansion. Matching is
+//! *incremental*: a [`MatchContext`] is backed by the DAG IR
+//! ([`quartz_ir::CircuitDag`]) and a child circuit's context is derived
+//! from its parent's through the splice delta that created it
+//! ([`MatchContext::derive`], O(rewrite footprint)) instead of being
+//! rebuilt from the sequence form per dequeued circuit (DESIGN.md §5).
+//! Also the preprocessing passes (Toffoli decomposition, rotation merging,
+//! gate-set transpilation) and a greedy rule-based baseline.
 //!
 //! # Example
 //!

@@ -1,8 +1,8 @@
 //! Pattern matching of transformation targets against subcircuits, and the
-//! `Apply(C, T)` operation (paper §6).
+//! `Apply(C, T)` operation (paper §6), over the DAG IR.
 //!
-//! A match is an injective assignment of the pattern's instructions to
-//! instructions of the circuit that
+//! A match is an injective assignment of the pattern's instructions to gate
+//! instances (DAG nodes) of the circuit that
 //!
 //! * preserves gate types,
 //! * maps pattern qubits to circuit qubits injectively and consistently,
@@ -12,19 +12,25 @@
 //!   are consecutive, and no dependency path leaves the matched set and
 //!   re-enters it (the graph-representation convexity of Figure 5).
 //!
-//! Applying a match removes the matched instructions and splices in the
-//! rewrite circuit with its qubits and parameters instantiated.
+//! Applying a match yields a [`SpliceDelta`]: the matched region plus the
+//! instantiated rewrite instructions. The delta can be turned into a
+//! rewritten sequence without mutating anything
+//! ([`MatchContext::apply_delta`]), or spliced into a clone of the DAG to
+//! *derive* the child circuit's matching state from its parent's in time
+//! proportional to the rewrite footprint ([`MatchContext::derive`]) — the
+//! incremental path the search layer rides (DESIGN.md §5).
 
 use crate::xform::Transformation;
-use quartz_ir::{Circuit, Gate, Instruction, ParamExpr};
+use quartz_ir::{Circuit, CircuitDag, Gate, Instruction, NodeId, ParamExpr, SpliceDelta};
 use std::collections::HashSet;
 
 /// A successful match of a pattern against a circuit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Match {
-    /// For each pattern instruction (in pattern order), the index of the
-    /// matched circuit instruction.
-    pub instruction_map: Vec<usize>,
+    /// For each pattern instruction (in pattern order), the matched DAG
+    /// node. For a context freshly built by [`MatchContext::new`], node
+    /// indices coincide with sequence positions.
+    pub instruction_map: Vec<NodeId>,
     /// For each pattern qubit, the mapped circuit qubit (`None` if the
     /// pattern never uses that qubit).
     pub qubit_map: Vec<Option<usize>>,
@@ -41,57 +47,60 @@ pub fn find_matches(circuit: &Circuit, pattern: &Circuit) -> Vec<Match> {
     MatchContext::new(circuit).find_matches(pattern)
 }
 
-/// Precomputed matching state for one circuit, reusable across patterns.
+/// Matching state for one circuit, reusable across patterns and derivable
+/// across rewrites.
 ///
-/// Construction walks the circuit once to build its wire-dependency adjacency
-/// (predecessors and successors) and a gate-type → instruction-indices table.
-/// [`MatchContext::find_matches`] then *anchors* each pattern: the first
-/// pattern instruction only tries circuit instructions of the same gate type
-/// (instead of scanning the whole circuit), and subsequent pattern
-/// instructions only try wire successors of already-matched ones. This is the
-/// anchored entry point the indexed dispatch layer (DESIGN.md §2.2) drives.
-pub struct MatchContext<'a> {
-    circuit: &'a Circuit,
-    /// Wire predecessors of each circuit instruction.
-    preds: Vec<Vec<Option<usize>>>,
-    /// Wire successors of each circuit instruction.
-    succs: Vec<Vec<usize>>,
-    /// Circuit instruction indices by gate type (ascending).
-    by_gate: Vec<Vec<usize>>,
+/// The context owns the circuit's [`CircuitDag`] (wire adjacency comes
+/// straight from the graph) plus a gate-type → node-id table.
+/// [`MatchContext::find_matches`] *anchors* each pattern: the first pattern
+/// instruction only tries nodes of the same gate type (instead of scanning
+/// the whole circuit), and subsequent pattern instructions only try wire
+/// successors of already-matched nodes. This is the anchored entry point the
+/// indexed dispatch layer (DESIGN.md §2.2) drives.
+///
+/// Contexts come from two places:
+///
+/// * [`MatchContext::new`] builds one from a sequence circuit in O(circuit) —
+///   the *rebuild* path, needed only for frontier roots;
+/// * [`MatchContext::derive`] builds a child context from a parent context
+///   and a [`SpliceDelta`] — a flat clone plus O(rewrite footprint) of
+///   actual recomputation, never touching the rest of the circuit
+///   (DESIGN.md §5).
+#[derive(Debug, Clone)]
+pub struct MatchContext {
+    dag: CircuitDag,
+    /// Live node ids by gate type, each bucket sorted ascending so splices
+    /// can maintain it by binary search.
+    by_gate: Vec<Vec<NodeId>>,
 }
 
-impl<'a> MatchContext<'a> {
-    /// Builds the context for a circuit.
-    pub fn new(circuit: &'a Circuit) -> Self {
-        let preds = circuit.wire_predecessors();
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); circuit.gate_count()];
-        for (i, ps) in preds.iter().enumerate() {
-            for p in ps.iter().flatten() {
-                if succs[*p].last() != Some(&i) {
-                    succs[*p].push(i);
-                }
-            }
+impl MatchContext {
+    /// Builds the context for a circuit by constructing its DAG and gate
+    /// buckets from scratch (O(circuit); the search layer counts these as
+    /// `ctx_rebuilds`).
+    pub fn new(circuit: &Circuit) -> Self {
+        let dag = CircuitDag::from_circuit(circuit);
+        let mut by_gate: Vec<Vec<NodeId>> = vec![Vec::new(); Gate::COUNT];
+        for (id, instr) in dag.nodes() {
+            by_gate[instr.gate.index()].push(id);
         }
-        let mut by_gate: Vec<Vec<usize>> = vec![Vec::new(); Gate::COUNT];
-        for (i, instr) in circuit.instructions().iter().enumerate() {
-            by_gate[instr.gate.index()].push(i);
-        }
-        MatchContext {
-            circuit,
-            preds,
-            succs,
-            by_gate,
-        }
+        // from_circuit assigns ids in sequence order, so buckets are sorted.
+        MatchContext { dag, by_gate }
     }
 
-    /// The circuit this context was built for.
-    pub fn circuit(&self) -> &'a Circuit {
-        self.circuit
+    /// The DAG this context matches against.
+    pub fn dag(&self) -> &CircuitDag {
+        &self.dag
+    }
+
+    /// The circuit in sequence form (a topological emission of the DAG).
+    pub fn to_circuit(&self) -> Circuit {
+        self.dag.to_circuit()
     }
 
     /// Finds every match of `pattern` inside the circuit.
     pub fn find_matches(&self, pattern: &Circuit) -> Vec<Match> {
-        if pattern.is_empty() || pattern.gate_count() > self.circuit.gate_count() {
+        if pattern.is_empty() || pattern.gate_count() > self.dag.gate_count() {
             return Vec::new();
         }
         let state = MatchState {
@@ -102,79 +111,108 @@ impl<'a> MatchContext<'a> {
         state.search()
     }
 
+    /// Instantiates the transformation's rewrite at a match, producing the
+    /// splice plan, or `None` when the rewrite cannot be instantiated (for
+    /// example because it uses a parameter the target never bound).
+    pub fn delta_for(&self, xform: &Transformation, m: &Match) -> Option<SpliceDelta> {
+        let mut replacement = Vec::with_capacity(xform.rewrite.gate_count());
+        for instr in xform.rewrite.instructions() {
+            let qubits: Option<Vec<usize>> = instr
+                .qubits
+                .iter()
+                .map(|&q| m.qubit_map.get(q).copied().flatten())
+                .collect();
+            let qubits = qubits?;
+            let mut params = Vec::with_capacity(instr.params.len());
+            for p in &instr.params {
+                params.push(instantiate(p, &m.param_bindings, self.dag.num_params())?);
+            }
+            replacement.push(Instruction::new(instr.gate, qubits, params));
+        }
+        Some(SpliceDelta {
+            region: m.instruction_map.clone(),
+            replacement,
+        })
+    }
+
+    /// Emits the rewritten circuit a delta describes, without mutating the
+    /// context: unmatched non-descendants of the region in their current
+    /// order, then the replacement, then unmatched descendants (the
+    /// splicing invariant of DESIGN.md §2.4 — convexity of the matched
+    /// region guarantees this is a topological order of the new DAG).
+    pub fn apply_delta(&self, delta: &SpliceDelta) -> Circuit {
+        let region: HashSet<NodeId> = delta.region.iter().copied().collect();
+        let descendants = self.dag.descendants(&delta.region);
+        let mut out = Circuit::new(self.dag.num_qubits(), self.dag.num_params());
+        for (id, instr) in self.dag.nodes() {
+            if !region.contains(&id) && !descendants.contains(&id) {
+                out.push(instr.clone());
+            }
+        }
+        for instr in &delta.replacement {
+            out.push(instr.clone());
+        }
+        for (id, instr) in self.dag.nodes() {
+            if descendants.contains(&id) {
+                out.push(instr.clone());
+            }
+        }
+        out
+    }
+
+    /// Derives the child circuit's context from this one: a flat clone of
+    /// the DAG and buckets, then an in-place splice and a bucket update
+    /// touching only the rewrite footprint — no adjacency or bucket is ever
+    /// recomputed from the sequence form (the search layer counts these as
+    /// `ctx_derives`; DESIGN.md §5).
+    pub fn derive(&self, delta: &SpliceDelta) -> MatchContext {
+        let mut dag = self.dag.clone();
+        let mut by_gate = self.by_gate.clone();
+        for &id in &delta.region {
+            let gate = self.dag.instruction(id).gate;
+            let bucket = &mut by_gate[gate.index()];
+            let pos = bucket
+                .binary_search(&id)
+                .expect("region node is in its gate bucket");
+            bucket.remove(pos);
+        }
+        let inserted = dag.splice(delta);
+        for (&id, instr) in inserted.iter().zip(&delta.replacement) {
+            let bucket = &mut by_gate[instr.gate.index()];
+            let pos = bucket
+                .binary_search(&id)
+                .expect_err("inserted node is new to its gate bucket");
+            bucket.insert(pos, id);
+        }
+        MatchContext { dag, by_gate }
+    }
+
     /// Computes `Apply(C, T)` through this context: every circuit obtainable
     /// by applying the transformation at some match (paper §6).
     pub fn apply_all(&self, xform: &Transformation) -> Vec<Circuit> {
         self.find_matches(&xform.target)
             .iter()
-            .filter_map(|m| apply_at_with(&self.preds, self.circuit, xform, m))
+            .filter_map(|m| self.delta_for(xform, m))
+            .map(|delta| self.apply_delta(&delta))
             .collect()
     }
 }
 
 /// Applies a transformation at a specific match, producing the rewritten
-/// circuit, or `None` when the rewrite cannot be instantiated (for example
-/// because it uses a parameter the target never bound).
+/// circuit, or `None` when the rewrite cannot be instantiated.
+///
+/// The match must come from a context freshly built for `circuit` (as
+/// [`find_matches`] does), so its node ids name this circuit's gates.
 pub fn apply_at(circuit: &Circuit, xform: &Transformation, m: &Match) -> Option<Circuit> {
-    apply_at_with(&circuit.wire_predecessors(), circuit, xform, m)
-}
-
-/// [`apply_at`] over precomputed wire predecessors — the hot-path variant
-/// [`MatchContext::apply_all`] uses, avoiding a circuit re-walk per match.
-fn apply_at_with(
-    preds: &[Vec<Option<usize>>],
-    circuit: &Circuit,
-    xform: &Transformation,
-    m: &Match,
-) -> Option<Circuit> {
-    let matched: HashSet<usize> = m.instruction_map.iter().copied().collect();
-    let (ancestors, descendants) = boundary_sets_with(preds, &matched);
-
-    // Instantiate the rewrite's instructions.
-    let mut rewrite_instrs = Vec::with_capacity(xform.rewrite.gate_count());
-    for instr in xform.rewrite.instructions() {
-        let qubits: Option<Vec<usize>> = instr
-            .qubits
-            .iter()
-            .map(|&q| m.qubit_map.get(q).copied().flatten())
-            .collect();
-        let qubits = qubits?;
-        let mut params = Vec::with_capacity(instr.params.len());
-        for p in &instr.params {
-            params.push(instantiate(p, &m.param_bindings, circuit.num_params())?);
-        }
-        rewrite_instrs.push(Instruction::new(instr.gate, qubits, params));
-    }
-
-    // Rebuild: unmatched non-descendants, then the rewrite, then unmatched
-    // descendants (see DESIGN.md §2.4). Convexity guarantees consistency.
-    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
-    for (i, instr) in circuit.instructions().iter().enumerate() {
-        if matched.contains(&i) || descendants.contains(&i) {
-            continue;
-        }
-        out.push(instr.clone());
-    }
-    for instr in rewrite_instrs {
-        out.push(instr);
-    }
-    for (i, instr) in circuit.instructions().iter().enumerate() {
-        if matched.contains(&i) || !descendants.contains(&i) {
-            continue;
-        }
-        out.push(instr.clone());
-    }
-    let _ = ancestors;
-    Some(out)
+    let ctx = MatchContext::new(circuit);
+    let delta = ctx.delta_for(xform, m)?;
+    Some(ctx.apply_delta(&delta))
 }
 
 /// Computes `Apply(C, T)`: every circuit obtainable by applying the
 /// transformation at some match (paper §6).
 pub fn apply_all(circuit: &Circuit, xform: &Transformation) -> Vec<Circuit> {
-    find_matches(circuit, &xform.target)
-        .iter()
-        .filter_map(|m| apply_at(circuit, xform, m))
-        .collect()
+    MatchContext::new(circuit).apply_all(xform)
 }
 
 /// Substitutes parameter bindings into a pattern-side expression.
@@ -194,77 +232,63 @@ fn instantiate(
     Some(acc)
 }
 
-/// Ancestors and descendants (outside the matched set) of the matched set in
-/// the wire-dependency DAG described by `preds` (precomputed wire
-/// predecessors, so the matcher's hot path never re-walks the circuit).
-fn boundary_sets_with(
-    preds: &[Vec<Option<usize>>],
-    matched: &HashSet<usize>,
-) -> (HashSet<usize>, HashSet<usize>) {
-    let n = preds.len();
-    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, ps) in preds.iter().enumerate() {
-        for p in ps.iter().flatten() {
-            successors[*p].push(i);
-            predecessors[i].push(*p);
-        }
-    }
-    // Descendants: forward closure from the matched set over external nodes.
-    let mut descendants = HashSet::new();
-    let mut stack: Vec<usize> = matched.iter().copied().collect();
-    while let Some(u) = stack.pop() {
-        for &v in &successors[u] {
-            if !matched.contains(&v) && descendants.insert(v) {
-                stack.push(v);
-            }
-        }
-    }
-    // Ancestors: backward closure from the matched set over external nodes.
-    let mut ancestors = HashSet::new();
-    let mut stack: Vec<usize> = matched.iter().copied().collect();
-    while let Some(u) = stack.pop() {
-        for &v in &predecessors[u] {
-            if !matched.contains(&v) && ancestors.insert(v) {
-                stack.push(v);
-            }
-        }
-    }
-    (ancestors, descendants)
-}
-
-/// Returns `true` when the matched set is convex: no external instruction is
-/// both an ancestor and a descendant of the matched set.
-fn is_convex_with(preds: &[Vec<Option<usize>>], matched: &HashSet<usize>) -> bool {
-    let (ancestors, descendants) = boundary_sets_with(preds, matched);
-    ancestors.intersection(&descendants).next().is_none()
-}
-
-struct MatchState<'a, 'b> {
-    ctx: &'b MatchContext<'a>,
-    pattern: &'b Circuit,
+struct MatchState<'a> {
+    ctx: &'a MatchContext,
+    pattern: &'a Circuit,
     pattern_preds: Vec<Vec<Option<usize>>>,
 }
 
-impl MatchState<'_, '_> {
-    /// Candidate circuit instructions for the pattern instruction at `depth`:
-    /// when the pattern instruction depends on an already-matched one, only
-    /// the wire successors of that matched instruction can possibly satisfy
-    /// the wire-order constraint, so the search is narrowed to them; otherwise
-    /// the instruction anchors a fresh wire and only circuit instructions of
-    /// its own gate type are candidates.
-    fn candidates(&self, depth: usize, instruction_map: &[usize]) -> &[usize] {
+/// Candidate nodes for one pattern position, alloc-free on the matcher hot
+/// path: gate buckets are borrowed, wire successors (bounded by gate arity)
+/// live in a fixed inline buffer.
+enum Candidates<'a> {
+    Bucket(&'a [NodeId]),
+    Succs {
+        buf: [NodeId; MAX_ARITY],
+        len: usize,
+    },
+}
+
+/// Upper bound on gate arity (the largest gate, CCX, has 3 operands).
+const MAX_ARITY: usize = 4;
+
+impl Candidates<'_> {
+    fn as_slice(&self) -> &[NodeId] {
+        match self {
+            Candidates::Bucket(ids) => ids,
+            Candidates::Succs { buf, len } => &buf[..*len],
+        }
+    }
+}
+
+impl MatchState<'_> {
+    /// Candidate DAG nodes for the pattern instruction at `depth`: when the
+    /// pattern instruction depends on an already-matched one, only the wire
+    /// successors of that matched node can possibly satisfy the wire-order
+    /// constraint, so the search is narrowed to them (at most the node's
+    /// arity); otherwise the instruction anchors a fresh wire and only nodes
+    /// of its own gate type are candidates.
+    fn candidates(&self, depth: usize, instruction_map: &[NodeId]) -> Candidates<'_> {
         for pred in self.pattern_preds[depth].iter().flatten() {
             if *pred < instruction_map.len() {
-                return &self.ctx.succs[instruction_map[*pred]];
+                // Seed value is arbitrary — only `buf[..len]` is ever read.
+                let mut buf = [instruction_map[*pred]; MAX_ARITY];
+                let mut len = 0;
+                for &s in self.ctx.dag.succs(instruction_map[*pred]).iter().flatten() {
+                    if !buf[..len].contains(&s) {
+                        buf[len] = s;
+                        len += 1;
+                    }
+                }
+                return Candidates::Succs { buf, len };
             }
         }
-        &self.ctx.by_gate[self.pattern.instructions()[depth].gate.index()]
+        Candidates::Bucket(&self.ctx.by_gate[self.pattern.instructions()[depth].gate.index()])
     }
 
     fn search(&self) -> Vec<Match> {
         let mut results = Vec::new();
-        let mut instruction_map: Vec<usize> = Vec::new();
+        let mut instruction_map: Vec<NodeId> = Vec::new();
         let mut qubit_map: Vec<Option<usize>> = vec![None; self.pattern.num_qubits()];
         let mut used_circuit_qubits: HashSet<usize> = HashSet::new();
         let mut param_bindings: Vec<Option<ParamExpr>> = vec![None; self.pattern.num_params()];
@@ -280,7 +304,7 @@ impl MatchState<'_, '_> {
 
     fn extend(
         &self,
-        instruction_map: &mut Vec<usize>,
+        instruction_map: &mut Vec<NodeId>,
         qubit_map: &mut Vec<Option<usize>>,
         used_circuit_qubits: &mut HashSet<usize>,
         param_bindings: &mut Vec<Option<ParamExpr>>,
@@ -288,8 +312,7 @@ impl MatchState<'_, '_> {
     ) {
         let depth = instruction_map.len();
         if depth == self.pattern.gate_count() {
-            let matched: HashSet<usize> = instruction_map.iter().copied().collect();
-            if is_convex_with(&self.ctx.preds, &matched) {
+            if self.ctx.dag.is_convex(instruction_map) {
                 results.push(Match {
                     instruction_map: instruction_map.clone(),
                     qubit_map: qubit_map.clone(),
@@ -299,8 +322,9 @@ impl MatchState<'_, '_> {
             return;
         }
         let pattern_instr = &self.pattern.instructions()[depth];
-        'candidates: for &ci in self.candidates(depth, instruction_map) {
-            let circuit_instr = &self.ctx.circuit.instructions()[ci];
+        let candidates = self.candidates(depth, instruction_map);
+        'candidates: for &ci in candidates.as_slice() {
+            let circuit_instr = self.ctx.dag.instruction(ci);
             if circuit_instr.gate != pattern_instr.gate {
                 continue;
             }
@@ -336,17 +360,17 @@ impl MatchState<'_, '_> {
                 }
             }
 
-            // Wire-order consistency: the circuit predecessor of this
-            // instruction on each shared wire must be exactly the match of
-            // the pattern predecessor (or an instruction outside the match
-            // when the pattern wire starts here).
+            // Wire-order consistency: the circuit predecessor of this node
+            // on each shared wire must be exactly the match of the pattern
+            // predecessor (or a node outside the match when the pattern wire
+            // starts here).
             for (op, pred) in self.pattern_preds[depth].iter().enumerate() {
-                let circuit_pred = self.ctx.preds[ci][op];
+                let circuit_pred = self.ctx.dag.preds(ci)[op];
                 match pred {
                     Some(pattern_pred_idx) => {
                         let expected = instruction_map[*pattern_pred_idx];
                         // The pattern predecessor's operand position may
-                        // differ; compare instruction indices only.
+                        // differ; compare nodes only.
                         if circuit_pred != Some(expected) {
                             *qubit_map = saved_qubit_map;
                             *used_circuit_qubits = saved_used;
@@ -356,9 +380,9 @@ impl MatchState<'_, '_> {
                     }
                     None => {
                         // The wire enters the pattern here: the circuit-side
-                        // predecessor (if any) must not be a matched
-                        // instruction, otherwise the matched gates would not
-                        // be consecutive on the wire.
+                        // predecessor (if any) must not be a matched node,
+                        // otherwise the matched gates would not be
+                        // consecutive on the wire.
                         if let Some(cp) = circuit_pred {
                             if instruction_map.contains(&cp) {
                                 *qubit_map = saved_qubit_map;
@@ -374,12 +398,7 @@ impl MatchState<'_, '_> {
             // Parameter binding.
             let mut ok = true;
             for (p_expr, c_expr) in pattern_instr.params.iter().zip(circuit_instr.params.iter()) {
-                if !bind_params(
-                    p_expr,
-                    c_expr,
-                    param_bindings,
-                    self.ctx.circuit.num_params(),
-                ) {
+                if !bind_params(p_expr, c_expr, param_bindings, self.ctx.dag.num_params()) {
                     ok = false;
                     break;
                 }
@@ -450,7 +469,7 @@ fn bind_params(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::xform::instruction;
+    use crate::xform::{canonicalize, instruction};
     use quartz_ir::{equivalent_up_to_phase, Gate};
 
     fn h(q: usize) -> Instruction {
@@ -634,5 +653,65 @@ mod tests {
         assert_eq!(outs.len(), 1);
         assert!(equivalent_up_to_phase(&outs[0], &c, &[], 1e-10));
         assert_eq!(outs[0].gate_count(), 2);
+    }
+
+    /// A derived context must behave exactly like a context rebuilt from the
+    /// rewritten circuit: same DAG invariants, same matches, same rewrites.
+    #[test]
+    fn derived_context_equals_rebuilt_context() {
+        let t = hh_to_empty();
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::T, &[0]));
+        c.push(h(0));
+        c.push(h(0));
+        c.push(h(1));
+        c.push(h(1));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+
+        let ctx = MatchContext::new(&c);
+        let matches = ctx.find_matches(&t.target);
+        assert_eq!(matches.len(), 2);
+        for m in &matches {
+            let delta = ctx.delta_for(&t, m).unwrap();
+            let child_seq = ctx.apply_delta(&delta);
+            let derived = ctx.derive(&delta);
+            derived.dag().validate().unwrap();
+
+            // The derived DAG and the applied sequence are the same circuit.
+            assert_eq!(
+                canonicalize(&derived.to_circuit()),
+                canonicalize(&child_seq)
+            );
+
+            // Same match sets (compared through the rewrites they induce).
+            let rebuilt = MatchContext::new(&child_seq);
+            let mut from_derived: Vec<Circuit> =
+                derived.apply_all(&t).iter().map(canonicalize).collect();
+            let mut from_rebuilt: Vec<Circuit> =
+                rebuilt.apply_all(&t).iter().map(canonicalize).collect();
+            from_derived.sort_by(|a, b| a.precedence_cmp(b));
+            from_rebuilt.sort_by(|a, b| a.precedence_cmp(b));
+            assert_eq!(from_derived, from_rebuilt);
+        }
+    }
+
+    /// Deriving through a chain of rewrites keeps the context consistent
+    /// even as node slots are freed and reused.
+    #[test]
+    fn derivation_chain_reuses_slots_consistently() {
+        let t = hh_to_empty();
+        let mut c = Circuit::new(1, 0);
+        for _ in 0..6 {
+            c.push(h(0));
+        }
+        let mut ctx = MatchContext::new(&c);
+        for expected_len in [4, 2, 0] {
+            let m = ctx.find_matches(&t.target).into_iter().next().unwrap();
+            let delta = ctx.delta_for(&t, &m).unwrap();
+            ctx = ctx.derive(&delta);
+            ctx.dag().validate().unwrap();
+            assert_eq!(ctx.dag().gate_count(), expected_len);
+        }
+        assert!(ctx.find_matches(&t.target).is_empty());
     }
 }

@@ -1,28 +1,40 @@
 //! The cost-based backtracking search of the optimizer (paper §6,
 //! Algorithm 2), restructured as a batched, indexed, parallel frontier
-//! expansion (DESIGN.md §2.3).
+//! expansion with incremental match contexts (DESIGN.md §2.3, §5).
 //!
 //! Each step pops the best `batch_size` queue entries, expands them on worker
 //! threads (matching only the transformations the [`TransformationIndex`]
 //! says can possibly apply), and merges the resulting candidates
 //! sequentially in (cost, insertion order) priority order. Deduplication uses
 //! 64-bit canonical-form fingerprints ([`Circuit::fingerprint`]) instead of
-//! whole-circuit clones. With `batch_size = 1` the search visits exactly the
-//! states the original sequential loop visited, in the same order; larger
-//! batches trade strict best-first order for parallelism while remaining
-//! deterministic (worker results are merged in a fixed order, independent of
-//! thread scheduling) whenever the run ends by iteration budget or queue
-//! exhaustion rather than by wall-clock timeout.
+//! whole-circuit clones.
+//!
+//! Matching state is *derived*, not rebuilt: a dequeued entry carries the
+//! [`SpliceDelta`] that created it plus a handle to its parent's
+//! [`MatchContext`], so its own context is produced by
+//! [`MatchContext::derive`] in O(rewrite footprint) of recomputation; only
+//! frontier roots pay the O(circuit) [`MatchContext::new`] rebuild
+//! ([`SearchResult::ctx_rebuilds`] vs [`SearchResult::ctx_derives`]).
+//! Candidates are ordered within each expansion by (cost, canonical
+//! fingerprint), which makes the exploration a function of the candidate
+//! *sets* alone — so the incremental engine is bit-identical to the
+//! rebuild-every-entry engine (`incremental_contexts: false`), and with
+//! `batch_size = 1` both visit exactly the states the sequential Algorithm 2
+//! visits. Larger batches trade strict best-first order for parallelism
+//! while remaining deterministic (worker results are merged in a fixed
+//! order, independent of thread scheduling) whenever the run ends by
+//! iteration budget or queue exhaustion rather than by wall-clock timeout.
 
 use crate::cost::CostModel;
 use crate::index::TransformationIndex;
 use crate::matcher::MatchContext;
 use crate::xform::{canonicalize, Transformation};
-use quartz_ir::Circuit;
+use quartz_ir::{Circuit, SpliceDelta};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of the backtracking search.
@@ -57,6 +69,13 @@ pub struct SearchConfig {
     /// full linear scan (same results, more work) — kept for benchmarking
     /// the index and as a safety valve.
     pub use_index: bool,
+    /// When `true` (the default), a dequeued entry's [`MatchContext`] is
+    /// derived from its parent's through the splice delta that created it
+    /// (O(rewrite footprint)); only frontier roots are rebuilt from the
+    /// sequence form. `false` rebuilds every context from scratch
+    /// (O(circuit) per dequeue) — same results, more work — kept for
+    /// benchmarking the derivation and as a safety valve.
+    pub incremental_contexts: bool,
 }
 
 impl Default for SearchConfig {
@@ -71,6 +90,7 @@ impl Default for SearchConfig {
             batch_size: 1,
             num_threads: 0,
             use_index: true,
+            incremental_contexts: true,
         }
     }
 }
@@ -121,6 +141,13 @@ pub struct SearchResult {
     /// Candidate circuits discarded because their canonical fingerprint was
     /// already in the seen-set.
     pub dedup_hits: usize,
+    /// Match contexts rebuilt from the sequence form (O(circuit) each).
+    /// With incremental contexts enabled these are exactly the frontier
+    /// roots — one per `optimize` call.
+    pub ctx_rebuilds: usize,
+    /// Match contexts derived from a parent context through a splice delta
+    /// (O(rewrite footprint) of recomputation each; DESIGN.md §5).
+    pub ctx_derives: usize,
 }
 
 impl SearchResult {
@@ -143,14 +170,45 @@ impl SearchResult {
             self.match_skips as f64 / total as f64
         }
     }
+
+    /// Fraction of dequeued entries whose match context was derived rather
+    /// than rebuilt, in [0, 1].
+    pub fn ctx_derive_rate(&self) -> f64 {
+        let total = self.ctx_rebuilds + self.ctx_derives;
+        if total == 0 {
+            0.0
+        } else {
+            self.ctx_derives as f64 / total as f64
+        }
+    }
 }
 
-#[derive(PartialEq, Eq)]
+/// Where a dequeued entry's match context comes from.
+enum CtxSource {
+    /// A frontier root: rebuild the context from the sequence form.
+    Root,
+    /// Derive from the parent entry's materialized context through the
+    /// splice delta that created this entry.
+    Derived {
+        parent: Arc<MatchContext>,
+        delta: SpliceDelta,
+    },
+}
+
 struct QueueEntry {
     cost: usize,
     order: usize,
     circuit: Circuit,
+    ctx: CtxSource,
 }
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.order == other.order
+    }
+}
+
+impl Eq for QueueEntry {}
 
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -169,15 +227,22 @@ impl PartialOrd for QueueEntry {
 }
 
 /// A successor circuit produced by one expansion, with its canonical
-/// fingerprint and cost precomputed on the worker.
+/// fingerprint and cost precomputed on the worker, and the splice delta
+/// kept so the successor's own context can be derived if it is dequeued.
 struct Candidate {
     circuit: Circuit,
     fingerprint: u64,
     cost: usize,
+    delta: SpliceDelta,
 }
 
 /// Everything a worker produced for one dequeued circuit.
 struct Expansion {
+    /// The entry's materialized context, shared with any children that make
+    /// it into the queue.
+    ctx: Arc<MatchContext>,
+    /// Whether materializing it was a rebuild (true) or a derivation.
+    rebuilt: bool,
     candidates: Vec<Candidate>,
     attempts: usize,
     skips: usize,
@@ -205,6 +270,8 @@ struct Expansion {
 /// circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
 /// let result = optimizer.optimize(&circuit);
 /// assert_eq!(result.best_cost, 1);
+/// // Only the frontier root rebuilt its match context from scratch.
+/// assert_eq!(result.ctx_rebuilds, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Optimizer {
@@ -264,12 +331,15 @@ impl Optimizer {
             cost: initial_cost,
             order,
             circuit: canonical_input,
+            ctx: CtxSource::Root,
         });
 
         let mut iterations = 0usize;
         let mut match_attempts = 0usize;
         let mut match_skips = 0usize;
         let mut dedup_hits = 0usize;
+        let mut ctx_rebuilds = 0usize;
+        let mut ctx_derives = 0usize;
 
         let batch_size = self.config.batch_size.max(1);
         let num_threads = self.config.effective_threads();
@@ -322,6 +392,11 @@ impl Optimizer {
                 match_attempts += expansion.attempts;
                 match_skips += expansion.skips;
                 dedup_hits += expansion.dedup_hits;
+                if expansion.rebuilt {
+                    ctx_rebuilds += 1;
+                } else {
+                    ctx_derives += 1;
+                }
                 for candidate in expansion.candidates {
                     if seen.contains(&candidate.fingerprint) {
                         dedup_hits += 1;
@@ -335,10 +410,19 @@ impl Optimizer {
                         }
                         order += 1;
                         seen.insert(candidate.fingerprint);
+                        let ctx = if self.config.incremental_contexts {
+                            CtxSource::Derived {
+                                parent: Arc::clone(&expansion.ctx),
+                                delta: candidate.delta,
+                            }
+                        } else {
+                            CtxSource::Root
+                        };
                         queue.push(QueueEntry {
                             cost: candidate.cost,
                             order,
                             circuit: candidate.circuit,
+                            ctx,
                         });
                     }
                 }
@@ -366,14 +450,20 @@ impl Optimizer {
             match_attempts,
             match_skips,
             dedup_hits,
+            ctx_rebuilds,
+            ctx_derives,
         }
     }
 
-    /// Expands one dequeued circuit: dispatches through the index (or the
-    /// full scan), matches each surviving transformation anchored on the
-    /// precomputed [`MatchContext`], and canonicalizes/fingerprints/costs
-    /// every successor. Pure with respect to the search state — safe to run
-    /// on worker threads.
+    /// Expands one dequeued circuit: materializes its [`MatchContext`]
+    /// (derived from the parent's where possible, rebuilt at frontier
+    /// roots), dispatches through the index (or the full scan), matches each
+    /// surviving transformation anchored on that context, and
+    /// canonicalizes/fingerprints/costs every successor. Candidates are
+    /// sorted by (cost, fingerprint) so the expansion's output is a function
+    /// of the candidate set alone — independent of the circuit's sequence
+    /// representation and of match enumeration order. Pure with respect to
+    /// the search state — safe to run on worker threads.
     fn expand_entry(
         &self,
         entry: &QueueEntry,
@@ -381,45 +471,58 @@ impl Optimizer {
         seen: &HashSet<u64>,
         start: Instant,
     ) -> Expansion {
-        let ctx = MatchContext::new(&entry.circuit);
+        let (ctx, rebuilt) = match &entry.ctx {
+            CtxSource::Root => (MatchContext::new(&entry.circuit), true),
+            CtxSource::Derived { parent, delta } => (parent.derive(delta), false),
+        };
         let total = self.index.len();
         let candidate_ids: Vec<usize> = if self.config.use_index {
-            self.index.candidates_for(entry.circuit.gate_histogram())
+            self.index.candidates_for(ctx.dag().gate_histogram())
         } else {
             (0..total).collect()
         };
-        let mut expansion = Expansion {
-            candidates: Vec::new(),
-            attempts: 0,
-            skips: total - candidate_ids.len(),
-            dedup_hits: 0,
-        };
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut attempts = 0usize;
+        let skips = total - candidate_ids.len();
+        let mut dedup_hits = 0usize;
         let cost_model = self.config.cost_model;
         let gamma = self.config.gamma;
         for id in candidate_ids {
             if start.elapsed() > self.config.timeout {
                 break;
             }
-            expansion.attempts += 1;
+            attempts += 1;
             let xform = &self.index.transformations()[id];
-            for new_circuit in ctx.apply_all(xform) {
-                let canonical = canonicalize(&new_circuit);
+            for m in ctx.find_matches(&xform.target) {
+                let Some(delta) = ctx.delta_for(xform, &m) else {
+                    continue;
+                };
+                let canonical = canonicalize(&ctx.apply_delta(&delta));
                 let fingerprint = canonical.fingerprint();
                 if seen.contains(&fingerprint) {
-                    expansion.dedup_hits += 1;
+                    dedup_hits += 1;
                     continue;
                 }
                 let cost = cost_model.cost(&canonical);
                 if (cost as f64) < gamma * frozen_best as f64 {
-                    expansion.candidates.push(Candidate {
+                    candidates.push(Candidate {
                         circuit: canonical,
                         fingerprint,
                         cost,
+                        delta,
                     });
                 }
             }
         }
-        expansion
+        candidates.sort_by_key(|c| (c.cost, c.fingerprint));
+        Expansion {
+            ctx: Arc::new(ctx),
+            rebuilt,
+            candidates,
+            attempts,
+            skips,
+            dedup_hits,
+        }
     }
 }
 
@@ -607,5 +710,57 @@ mod tests {
             result.dedup_hits > 0,
             "expected duplicate candidates to be dropped"
         );
+    }
+
+    /// The incremental engine must be bit-identical to the rebuild-every-
+    /// entry engine, and must rebuild only at frontier roots.
+    #[test]
+    fn incremental_contexts_are_bit_identical_to_rebuilds() {
+        let base = nam_optimizer(2, 2, 0);
+        let rebuild_all = Optimizer::new(
+            base.transformations().to_vec(),
+            SearchConfig {
+                incremental_contexts: false,
+                ..base.config().clone()
+            },
+        );
+        let mut c = Circuit::new(3, 0);
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(instruction(Gate::Cnot, &[1, 2]));
+        c.push(instruction(Gate::Cnot, &[1, 2]));
+        c.push(instruction(Gate::X, &[2]));
+        c.push(instruction(Gate::X, &[2]));
+        let incremental = base.optimize(&c);
+        let rebuilt = rebuild_all.optimize(&c);
+
+        assert_eq!(incremental.best_circuit, rebuilt.best_circuit);
+        assert_eq!(incremental.best_cost, rebuilt.best_cost);
+        assert_eq!(incremental.iterations, rebuilt.iterations);
+        assert_eq!(incremental.circuits_seen, rebuilt.circuits_seen);
+        assert_eq!(incremental.match_attempts, rebuilt.match_attempts);
+        assert_eq!(incremental.dedup_hits, rebuilt.dedup_hits);
+        let inc_trace: Vec<usize> = incremental
+            .improvement_trace
+            .iter()
+            .map(|(_, c)| *c)
+            .collect();
+        let reb_trace: Vec<usize> = rebuilt.improvement_trace.iter().map(|(_, c)| *c).collect();
+        assert_eq!(inc_trace, reb_trace);
+
+        // Context accounting: the incremental run rebuilds only the root;
+        // the rebuild-all run never derives.
+        assert_eq!(incremental.ctx_rebuilds, 1);
+        assert_eq!(
+            incremental.ctx_derives,
+            incremental.iterations - 1,
+            "every non-root dequeue must derive its context"
+        );
+        assert_eq!(rebuilt.ctx_derives, 0);
+        assert_eq!(rebuilt.ctx_rebuilds, rebuilt.iterations);
+        assert!(incremental.ctx_derives > 0);
+        assert!(incremental.ctx_derive_rate() > 0.0);
+        assert_eq!(rebuilt.ctx_derive_rate(), 0.0);
     }
 }

@@ -6,7 +6,7 @@ use quartz_gen::{GenConfig, Generator};
 use quartz_ir::{equivalent_up_to_phase, Circuit, Gate, GateSet, Instruction, ParamExpr};
 use quartz_opt::{
     cancel_adjacent_inverses, canonicalize, greedy_optimize, merge_rotations, preprocess_nam,
-    transformations_from_ecc_set, Optimizer, SearchConfig,
+    transformations_from_ecc_set, MatchContext, Optimizer, SearchConfig, Transformation,
 };
 use std::time::Duration;
 
@@ -169,6 +169,79 @@ proptest! {
         prop_assert!(result.best_cost <= nam.gate_count());
         prop_assert!(equivalent_up_to_phase(&result.best_circuit, &nam, &[], 1e-8));
     }
+}
+
+/// The rewrites a context can reach, as a sorted list of canonical circuits.
+/// Two contexts for the same circuit DAG must agree on this for every
+/// transformation, whatever their node-id layout or sequence representation.
+fn reachable_rewrites(ctx: &MatchContext, xforms: &[Transformation]) -> Vec<Circuit> {
+    let mut out: Vec<Circuit> = xforms
+        .iter()
+        .flat_map(|x| ctx.apply_all(x))
+        .map(|c| canonicalize(&c))
+        .collect();
+    out.sort_by(|a, b| a.precedence_cmp(b));
+    out
+}
+
+/// Equivalence of derived and freshly-built match contexts along a search
+/// run: starting from a redundant circuit, repeatedly apply the first
+/// available rewrite through `MatchContext::derive` and assert after *every*
+/// step that the derived context finds exactly the matches a context rebuilt
+/// from the rewritten sequence finds (compared through the rewrites they
+/// induce, which also pins qubit maps and parameter bindings).
+#[test]
+fn derived_contexts_match_rebuilt_contexts_along_a_search_run() {
+    let (ecc_set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 1)).run();
+    let xforms = transformations_from_ecc_set(&ecc_set, true);
+    assert!(!xforms.is_empty());
+
+    let mut circuit = Circuit::new(3, 0);
+    circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+    circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+    circuit.push(Instruction::new(
+        Gate::Rz,
+        vec![1],
+        vec![ParamExpr::constant_pi4(1)],
+    ));
+    circuit.push(Instruction::new(
+        Gate::Rz,
+        vec![1],
+        vec![ParamExpr::constant_pi4(2)],
+    ));
+    circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+    circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+    circuit.push(Instruction::new(Gate::X, vec![2], vec![]));
+    circuit.push(Instruction::new(Gate::X, vec![2], vec![]));
+
+    let mut ctx = MatchContext::new(&circuit);
+    let mut steps = 0;
+    'walk: loop {
+        let rebuilt = MatchContext::new(&canonicalize(&ctx.to_circuit()));
+        assert_eq!(
+            reachable_rewrites(&ctx, &xforms),
+            reachable_rewrites(&rebuilt, &xforms),
+            "derived and rebuilt contexts diverged after {steps} rewrites"
+        );
+        ctx.dag().validate().expect("derived DAG stays consistent");
+        for xform in &xforms {
+            // Walk along strictly shrinking rewrites so the run terminates.
+            if xform.gate_delta() >= 0 {
+                continue;
+            }
+            if let Some(m) = ctx.find_matches(&xform.target).into_iter().next() {
+                let delta = ctx.delta_for(xform, &m).expect("instantiable rewrite");
+                ctx = ctx.derive(&delta);
+                steps += 1;
+                continue 'walk;
+            }
+        }
+        break;
+    }
+    assert!(
+        steps >= 3,
+        "expected a multi-step rewrite chain, got {steps}"
+    );
 }
 
 #[test]

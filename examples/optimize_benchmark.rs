@@ -77,4 +77,11 @@ fn main() {
         result.dedup_hits,
         result.circuits_seen
     );
+    println!(
+        "Match contexts: {} rebuilt from the sequence form (frontier roots), \
+         {} derived in-place from their parent ({:.1}% derived)",
+        result.ctx_rebuilds,
+        result.ctx_derives,
+        100.0 * result.ctx_derive_rate()
+    );
 }

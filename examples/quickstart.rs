@@ -58,6 +58,12 @@ fn main() {
         "Dispatch: {} pattern matches attempted, {} skipped by the index, {} dedup hits",
         result.match_attempts, result.match_skips, result.dedup_hits
     );
+    println!(
+        "Contexts: {} rebuilt (frontier roots), {} derived incrementally ({:.1}% derived)",
+        result.ctx_rebuilds,
+        result.ctx_derives,
+        100.0 * result.ctx_derive_rate()
+    );
 
     // 5. Double-check the result numerically.
     let ok = quartz::ir::equivalent_up_to_phase(&circuit, &result.best_circuit, &[], 1e-9);

@@ -47,8 +47,9 @@ pub mod math {
     pub use quartz_math::*;
 }
 
-/// Symbolic circuit IR: gates, gate sets, parameter expressions, circuits,
-/// QASM, numeric semantics and fingerprints.
+/// Symbolic circuit IR: gates, gate sets, parameter expressions, circuits
+/// in sequence and DAG form (`CircuitDag`), QASM, numeric semantics and
+/// fingerprints.
 pub mod ir {
     pub use quartz_ir::*;
 }
