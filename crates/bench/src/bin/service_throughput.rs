@@ -1,0 +1,140 @@
+//! Batch-service throughput driver: optimizes the NAM benchmark suite as
+//! one batch through the `OptimizationService` and reports circuits/sec at
+//! 1 worker thread vs. all available cores.
+//!
+//! Per-circuit results are bit-identical across thread counts (the service's
+//! work-stealing merge order is deterministic), so the speedup column is an
+//! apples-to-apples comparison of the same search work.
+//!
+//! Usage: `cargo run --release -p quartz-bench --bin service_throughput
+//! [-- --scale full --timeout <secs> --n <n> --q <q> --threads <t>]`
+
+use quartz_bench::{build_ecc_set, GateSetKind, Scale};
+use quartz_ir::Circuit;
+use quartz_opt::{OptimizationService, SearchConfig, SearchResult};
+use std::time::{Duration, Instant};
+
+/// The thread-count-independent fields of a [`SearchResult`] — everything a
+/// determinism regression could disturb except wall-clock durations (the
+/// improvement trace is kept as its cost sequence, timestamps stripped).
+#[derive(Debug, PartialEq)]
+struct RunSummary {
+    best_circuit: Circuit,
+    best_cost: usize,
+    initial_cost: usize,
+    iterations: usize,
+    circuits_seen: usize,
+    match_attempts: usize,
+    match_skips: usize,
+    dedup_hits: usize,
+    ctx_rebuilds: usize,
+    ctx_derives: usize,
+    trace_costs: Vec<usize>,
+}
+
+impl RunSummary {
+    fn of(result: &SearchResult) -> Self {
+        RunSummary {
+            best_circuit: result.best_circuit.clone(),
+            best_cost: result.best_cost,
+            initial_cost: result.initial_cost,
+            iterations: result.iterations,
+            circuits_seen: result.circuits_seen,
+            match_attempts: result.match_attempts,
+            match_skips: result.match_skips,
+            dedup_hits: result.dedup_hits,
+            ctx_rebuilds: result.ctx_rebuilds,
+            ctx_derives: result.ctx_derives,
+            trace_costs: result.improvement_trace.iter().map(|&(_, c)| c).collect(),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = GateSetKind::Nam;
+    let scale = Scale::from_args(kind, &args);
+    let max_threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+
+    let (ecc_set, _) = build_ecc_set(kind, scale.ecc_n, scale.ecc_q);
+    let batch: Vec<Circuit> = scale
+        .suite
+        .iter()
+        .map(|(_, clifford_t)| kind.preprocess(clifford_t))
+        .collect();
+    println!(
+        "== Batch service throughput ({} scale: {} circuits, ECC n={}, q={}, \
+         {} iterations/circuit) ==",
+        scale.label,
+        batch.len(),
+        scale.ecc_n,
+        scale.ecc_q,
+        scale.max_iterations
+    );
+
+    let run = |threads: usize| -> (Duration, Vec<SearchResult>) {
+        // The iteration budget must be the binding constraint: runs cut off
+        // by the wall clock are legitimately thread-count-dependent, which
+        // would void the bit-identicality assertion below. Leave the timeout
+        // an order of magnitude above the per-circuit budgets.
+        let service = OptimizationService::from_ecc_set(
+            &ecc_set,
+            SearchConfig {
+                timeout: scale.search_timeout.saturating_mul(10 * batch.len() as u32),
+                max_iterations: scale.max_iterations,
+                num_threads: threads,
+                ..SearchConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let results = service.optimize_batch(&batch);
+        (start.elapsed(), results)
+    };
+
+    let thread_counts: Vec<usize> = if max_threads > 1 {
+        vec![1, max_threads]
+    } else {
+        vec![1]
+    };
+    println!(
+        "{:>8} {:>12} {:>14} {:>12} {:>10}",
+        "Threads", "Elapsed", "Circuits/sec", "Total gates", "Speedup"
+    );
+    let mut baseline_secs = 0.0;
+    let mut baseline: Option<Vec<RunSummary>> = None;
+    for &threads in &thread_counts {
+        let (elapsed, results) = run(threads);
+        let secs = elapsed.as_secs_f64();
+        let total: usize = results.iter().map(|r| r.best_cost).sum();
+        // Bit-identical across thread counts: not just the best cost but the
+        // whole trajectory (iterations, states seen, match attempts).
+        let summary: Vec<RunSummary> = results.iter().map(RunSummary::of).collect();
+        match &baseline {
+            None => {
+                baseline_secs = secs;
+                baseline = Some(summary);
+            }
+            Some(expected) => assert_eq!(
+                expected, &summary,
+                "per-circuit results must be identical across thread counts"
+            ),
+        }
+        println!(
+            "{:>8} {:>12.2?} {:>14.2} {:>12} {:>9.2}x",
+            threads,
+            elapsed,
+            batch.len() as f64 / secs,
+            total,
+            baseline_secs / secs
+        );
+    }
+}

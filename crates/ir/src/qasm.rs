@@ -33,10 +33,16 @@ impl std::error::Error for QasmError {}
 
 /// Parses an OpenQASM 2.0 program (subset) into a [`Circuit`].
 ///
+/// An `rx` with a constant angle of ±π/2 or π parses as the corresponding
+/// fixed gate ([`Gate::Rx90`] / [`Gate::Rx90Neg`] / [`Gate::Rx180`]) rather
+/// than a parametric [`Gate::Rx`] — see `restore_fixed_rotation` for the
+/// ambiguity this resolves; any other `rx` angle stays parametric.
+///
 /// # Errors
 ///
 /// Returns a [`QasmError`] on unsupported constructs, unknown gates, angle
-/// expressions that are not integer multiples of π/4, or malformed syntax.
+/// expressions that are not integer multiples of π/4 or whose quarter-turn
+/// count overflows `i32`, or malformed syntax.
 pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
     let mut num_qubits: Option<usize> = None;
     let mut register: Option<String> = None;
@@ -164,6 +170,11 @@ fn parse_gate_statement(
             ),
         ));
     }
+    // `to_qasm` prints the fixed Rigetti rotations as `rx(±pi/2)` / `rx(pi)`
+    // (standard tools have no rx90/rx90neg/rx180); map those constant angles
+    // back to the fixed gates so a round trip preserves gate identity —
+    // fingerprints, histograms, and Rigetti gate-set membership depend on it.
+    let (gate, params) = restore_fixed_rotation(gate, params);
 
     let mut qubits = Vec::new();
     for arg in args_part.split(',') {
@@ -201,6 +212,32 @@ fn parse_gate_statement(
         ));
     }
     Ok(Instruction::new(gate, qubits, params))
+}
+
+/// Maps a parametric `rx` whose constant angle is ±π/2 or π to the
+/// corresponding fixed gate ([`Gate::Rx90`] / [`Gate::Rx90Neg`] /
+/// [`Gate::Rx180`]); any other gate or angle is returned unchanged.
+///
+/// The QASM text `rx(pi/2)` is inherently ambiguous: it prints both
+/// [`Gate::Rx90`] and a parametric [`Gate::Rx`] at constant π/2 (same
+/// unitary, different gate identity). The parser resolves the ambiguity in
+/// favor of the fixed gates so that Rigetti-gate-set circuits round-trip
+/// losslessly; the flip side is that a parametric `Rx` at exactly ±π/2 or π
+/// comes back as the fixed gate — semantics preserved, identity not.
+fn restore_fixed_rotation(gate: Gate, params: Vec<ParamExpr>) -> (Gate, Vec<ParamExpr>) {
+    if gate == Gate::Rx {
+        if let [angle] = params.as_slice() {
+            if angle.is_constant() {
+                match angle.const_pi4() {
+                    2 => return (Gate::Rx90, Vec::new()),
+                    -2 => return (Gate::Rx90Neg, Vec::new()),
+                    4 => return (Gate::Rx180, Vec::new()),
+                    _ => {}
+                }
+            }
+        }
+    }
+    (gate, params)
 }
 
 fn lookup_gate(name: &str) -> Option<Gate> {
@@ -252,7 +289,13 @@ fn parse_angle(src: &str, line: usize) -> Result<ParamExpr, QasmError> {
     match quarters {
         Some(q) => {
             let q = if neg { -q } else { q };
-            Ok(ParamExpr::constant_pi4(q as i32))
+            let q = i32::try_from(q).map_err(|_| {
+                err(
+                    line,
+                    format!("angle {src:?} out of range: {q} quarter-turns overflow i32"),
+                )
+            })?;
+            Ok(ParamExpr::constant_pi4(q))
         }
         None => Err(err(
             line,
@@ -389,5 +432,56 @@ cx q[0], q[1];
         let src = "qreg q[1]; rz(1.5707963267948966) q[0];";
         let c = parse_qasm(src).unwrap();
         assert_eq!(c.instructions()[0].params[0].const_pi4(), 2);
+    }
+
+    #[test]
+    fn fixed_rx_gates_survive_a_round_trip() {
+        let mut c = Circuit::new(1, 0);
+        c.push(Instruction::new(Gate::Rx90, vec![0], vec![]));
+        c.push(Instruction::new(Gate::Rx90Neg, vec![0], vec![]));
+        c.push(Instruction::new(Gate::Rx180, vec![0], vec![]));
+        let qasm = to_qasm(&c);
+        let back = parse_qasm(&qasm).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.fingerprint(), c.fingerprint());
+        assert_eq!(back.gate_histogram(), c.gate_histogram());
+    }
+
+    #[test]
+    fn rx_with_constant_special_angles_parses_as_fixed_gates() {
+        let src =
+            "qreg q[1]; rx(pi/2) q[0]; rx(-pi/2) q[0]; rx(pi) q[0]; rx(-pi) q[0]; rx(pi/4) q[0];";
+        let c = parse_qasm(src).unwrap();
+        let gates: Vec<Gate> = c.instructions().iter().map(|i| i.gate).collect();
+        // ±π/2 and π map to the fixed Rigetti gates; −π and π/4 have no
+        // fixed counterpart and stay parametric.
+        assert_eq!(
+            gates,
+            vec![Gate::Rx90, Gate::Rx90Neg, Gate::Rx180, Gate::Rx, Gate::Rx]
+        );
+        assert_eq!(c.instructions()[3].params[0].const_pi4(), -4);
+        assert_eq!(c.instructions()[4].params[0].const_pi4(), 1);
+    }
+
+    #[test]
+    fn out_of_range_angles_error_instead_of_wrapping() {
+        for src in [
+            "qreg q[1]; rz(2000000000*pi) q[0];",
+            "qreg q[1]; rz(-2000000000*pi) q[0];",
+            "qreg q[1]; u1(1e300*pi/4) q[0];",
+        ] {
+            let result = parse_qasm(src);
+            assert!(result.is_err(), "{src} should be rejected");
+            assert!(
+                result.unwrap_err().message.contains("out of range"),
+                "{src} should report an out-of-range angle"
+            );
+        }
+        // The largest representable quarter-counts still parse.
+        let max = format!("qreg q[1]; rz({}*pi/4) q[0];", i32::MAX);
+        assert_eq!(
+            parse_qasm(&max).unwrap().instructions()[0].params[0].const_pi4(),
+            i32::MAX
+        );
     }
 }

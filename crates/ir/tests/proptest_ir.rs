@@ -55,8 +55,97 @@ fn arb_circuit(nq: usize, m: usize, max_len: usize) -> impl Strategy<Value = Cir
     })
 }
 
+/// The gate vocabularies of the paper's three target gate sets (Table 1),
+/// kept in sync with `GateSet::nam()` / `ibm()` / `rigetti()` by the
+/// `gate_set_vocabularies_match_builtins` test below.
+const NAM_GATES: [Gate; 4] = [Gate::H, Gate::X, Gate::Rz, Gate::Cnot];
+const IBM_GATES: [Gate; 4] = [Gate::U1, Gate::U2, Gate::U3, Gate::Cnot];
+const RIGETTI_GATES: [Gate; 5] = [Gate::Rx90, Gate::Rx90Neg, Gate::Rx180, Gate::Rz, Gate::Cz];
+
+/// Strategy producing a random constant-angle instruction drawn from one of
+/// the target gate sets — QASM can only express constant (π/4-multiple)
+/// angles, so parametric gates get constants rather than formal parameters.
+fn arb_gate_set_instruction(
+    gates: &'static [Gate],
+    nq: usize,
+) -> impl Strategy<Value = Instruction> {
+    (
+        0..gates.len(),
+        0..nq,
+        0..nq.max(2),
+        prop::collection::vec(-8i32..=8, 3),
+    )
+        .prop_filter_map(
+            "operands must be distinct",
+            move |(g, q0, q1_raw, quarters)| {
+                let gate = gates[g];
+                let q1 = q1_raw % nq;
+                let params: Vec<ParamExpr> = quarters
+                    .iter()
+                    .take(gate.num_params())
+                    .map(|&k| ParamExpr::constant_pi4(k))
+                    .collect();
+                match gate.num_qubits() {
+                    1 => Some(Instruction::new(gate, vec![q0], params)),
+                    2 if q0 != q1 => Some(Instruction::new(gate, vec![q0, q1], params)),
+                    _ => None,
+                }
+            },
+        )
+}
+
+fn arb_gate_set_circuit(
+    gates: &'static [Gate],
+    nq: usize,
+    max_len: usize,
+) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate_set_instruction(gates, nq), 0..max_len).prop_map(move |instrs| {
+        let mut c = Circuit::new(nq, 0);
+        for i in instrs {
+            c.push(i);
+        }
+        c
+    })
+}
+
+/// Shared body of the per-gate-set round-trip properties: parsing the
+/// printed QASM must reproduce the exact circuit — same gates (fixed
+/// rotations must not decay into parametric `rx`), same fingerprint, same
+/// histogram, and still inside the gate set.
+fn assert_qasm_round_trip(c: &Circuit, gate_set: &GateSet) -> Result<(), TestCaseError> {
+    let parsed = quartz_ir::parse_qasm(&quartz_ir::to_qasm(c))
+        .map_err(|e| TestCaseError::Fail(format!("round trip failed to parse: {e}")))?;
+    prop_assert_eq!(&parsed, c);
+    prop_assert_eq!(parsed.fingerprint(), c.fingerprint());
+    prop_assert_eq!(parsed.gate_histogram(), c.gate_histogram());
+    prop_assert!(gate_set.supports_circuit(&parsed));
+    Ok(())
+}
+
+#[test]
+fn gate_set_vocabularies_match_builtins() {
+    assert_eq!(GateSet::nam().gates(), &NAM_GATES[..]);
+    assert_eq!(GateSet::ibm().gates(), &IBM_GATES[..]);
+    assert_eq!(GateSet::rigetti().gates(), &RIGETTI_GATES[..]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qasm_round_trip_nam_circuits(c in arb_gate_set_circuit(&NAM_GATES, 3, 12)) {
+        assert_qasm_round_trip(&c, &GateSet::nam())?;
+    }
+
+    #[test]
+    fn qasm_round_trip_ibm_circuits(c in arb_gate_set_circuit(&IBM_GATES, 3, 12)) {
+        assert_qasm_round_trip(&c, &GateSet::ibm())?;
+    }
+
+    #[test]
+    fn qasm_round_trip_rigetti_circuits(c in arb_gate_set_circuit(&RIGETTI_GATES, 3, 12)) {
+        assert_qasm_round_trip(&c, &GateSet::rigetti())?;
+    }
 
     #[test]
     fn random_circuits_have_unitary_semantics(c in arb_circuit(3, 1, 8), p in -3.0f64..3.0) {

@@ -15,6 +15,12 @@
 //! Also the preprocessing passes (Toffoli decomposition, rotation merging,
 //! gate-set transpilation) and a greedy rule-based baseline.
 //!
+//! Batches of circuits are served concurrently by the
+//! [`OptimizationService`] (DESIGN.md §6): one search frontier per circuit
+//! over a single shared [`TransformationIndex`], with work stealing across
+//! frontiers and per-circuit results bit-identical to standalone
+//! [`Optimizer::optimize`] runs.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +52,7 @@ mod index;
 mod matcher;
 mod preprocess;
 mod search;
+mod service;
 mod xform;
 
 pub use baseline::{greedy_optimize, BaselineStats};
@@ -57,4 +64,5 @@ pub use preprocess::{
     nam_to_rigetti, preprocess_ibm, preprocess_nam, preprocess_rigetti, toffoli_decomposition,
 };
 pub use search::{Optimizer, SearchConfig, SearchResult};
+pub use service::{OptimizationService, ServiceEvent};
 pub use xform::{canonicalize, transformations_from_ecc_set, Transformation};

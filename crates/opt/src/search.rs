@@ -21,9 +21,23 @@
 //! rebuild-every-entry engine (`incremental_contexts: false`), and with
 //! `batch_size = 1` both visit exactly the states the sequential Algorithm 2
 //! visits. Larger batches trade strict best-first order for parallelism
-//! while remaining deterministic (worker results are merged in a fixed
-//! order, independent of thread scheduling) whenever the run ends by
-//! iteration budget or queue exhaustion rather than by wall-clock timeout.
+//! while remaining deterministic: worker results are merged in a fixed
+//! order, independent of thread scheduling.
+//!
+//! # Determinism guarantee
+//!
+//! The wall-clock budget is checked only *between* dequeued entries, never
+//! inside an expansion, so the expansion of a dequeued entry is always
+//! scanned to completion and every search step is a pure function of the
+//! frontier state. The timeout can therefore change only *how many* steps a
+//! run executes — never the outcome of a step — and any two runs that end by
+//! iteration budget or queue exhaustion (rather than by the timeout) are
+//! bit-identical.
+//!
+//! The per-frontier state (priority queue, fingerprint seen-set, incumbent
+//! best, counters) lives in the [`Frontier`] struct, which is also driven —
+//! one instance per circuit, over one shared [`TransformationIndex`] — by the
+//! multi-circuit [`crate::service::OptimizationService`].
 
 use crate::cost::CostModel;
 use crate::index::TransformationIndex;
@@ -106,7 +120,7 @@ impl SearchConfig {
     }
 
     /// Effective worker-thread count for batch expansion.
-    fn effective_threads(&self) -> usize {
+    pub(crate) fn effective_threads(&self) -> usize {
         if self.num_threads == 0 {
             rayon::current_num_threads()
         } else {
@@ -195,7 +209,9 @@ enum CtxSource {
     },
 }
 
-struct QueueEntry {
+/// A queued frontier entry: a candidate circuit with its cost, FIFO
+/// insertion order, and the recipe for materializing its match context.
+pub(crate) struct QueueEntry {
     cost: usize,
     order: usize,
     circuit: Circuit,
@@ -237,7 +253,7 @@ struct Candidate {
 }
 
 /// Everything a worker produced for one dequeued circuit.
-struct Expansion {
+pub(crate) struct Expansion {
     /// The entry's materialized context, shared with any children that make
     /// it into the queue.
     ctx: Arc<MatchContext>,
@@ -247,6 +263,208 @@ struct Expansion {
     attempts: usize,
     skips: usize,
     dedup_hits: usize,
+}
+
+/// The per-circuit state of one search: the priority queue, the fingerprint
+/// seen-set, the incumbent best circuit, the FIFO insertion counter, and the
+/// run statistics.
+///
+/// Extracted from [`Optimizer::optimize`] so that the single-circuit driver
+/// and the multi-circuit [`crate::service::OptimizationService`] (one
+/// `Frontier` per request, all sharing one [`TransformationIndex`]) execute
+/// exactly the same pop → expand → merge → prune code, which is what keeps
+/// per-circuit service results bit-identical to standalone runs.
+pub(crate) struct Frontier {
+    queue: BinaryHeap<QueueEntry>,
+    seen: HashSet<u64>,
+    best_circuit: Circuit,
+    best_cost: usize,
+    initial_cost: usize,
+    order: usize,
+    iterations: usize,
+    match_attempts: usize,
+    match_skips: usize,
+    dedup_hits: usize,
+    ctx_rebuilds: usize,
+    ctx_derives: usize,
+    improvement_trace: Vec<(Duration, usize)>,
+}
+
+impl Frontier {
+    /// Seeds a frontier with the canonicalized input circuit as its root.
+    pub(crate) fn new(input: &Circuit, cost_model: CostModel) -> Self {
+        let initial_cost = cost_model.cost(input);
+        let canonical_input = canonicalize(input);
+        let mut seen = HashSet::new();
+        seen.insert(canonical_input.fingerprint());
+        let mut queue = BinaryHeap::new();
+        queue.push(QueueEntry {
+            cost: initial_cost,
+            order: 0,
+            circuit: canonical_input.clone(),
+            ctx: CtxSource::Root,
+        });
+        Frontier {
+            queue,
+            seen,
+            best_circuit: canonical_input,
+            best_cost: initial_cost,
+            initial_cost,
+            order: 0,
+            iterations: 0,
+            match_attempts: 0,
+            match_skips: 0,
+            dedup_hits: 0,
+            ctx_rebuilds: 0,
+            ctx_derives: 0,
+            improvement_trace: vec![(Duration::ZERO, initial_cost)],
+        }
+    }
+
+    /// The best cost found so far.
+    pub(crate) fn best_cost(&self) -> usize {
+        self.best_cost
+    }
+
+    /// Number of entries dequeued so far.
+    pub(crate) fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The fingerprints of every circuit ever enqueued.
+    pub(crate) fn seen(&self) -> &HashSet<u64> {
+        &self.seen
+    }
+
+    /// Improvement trace recorded so far (grows during [`Frontier::merge`]).
+    pub(crate) fn improvement_trace(&self) -> &[(Duration, usize)] {
+        &self.improvement_trace
+    }
+
+    /// (cost, order) of the best queued entry; `None` when the queue is
+    /// exhausted. This is the per-frontier half of the service's global
+    /// (cost, circuit id, order) work-stealing key.
+    pub(crate) fn peek_key(&self) -> Option<(usize, usize)> {
+        self.queue.peek().map(|e| (e.cost, e.order))
+    }
+
+    /// Pops up to `take` best entries, counting them as iterations and
+    /// recording any incumbent improvement among the dequeued circuits.
+    pub(crate) fn pop_batch(&mut self, take: usize, start: Instant) -> Vec<QueueEntry> {
+        let mut batch = Vec::with_capacity(take);
+        while batch.len() < take {
+            match self.queue.pop() {
+                Some(entry) => batch.push(entry),
+                None => break,
+            }
+        }
+        self.iterations += batch.len();
+        for entry in &batch {
+            if entry.cost < self.best_cost {
+                self.best_cost = entry.cost;
+                self.best_circuit = entry.circuit.clone();
+                self.improvement_trace
+                    .push((start.elapsed(), self.best_cost));
+            }
+        }
+        batch
+    }
+
+    /// Merges one expansion into the frontier: accumulates its statistics
+    /// and enqueues every candidate that survives deduplication and the γ
+    /// threshold against the *live* (merge-time) best cost.
+    pub(crate) fn merge(&mut self, expansion: Expansion, config: &SearchConfig, start: Instant) {
+        self.match_attempts += expansion.attempts;
+        self.match_skips += expansion.skips;
+        self.dedup_hits += expansion.dedup_hits;
+        if expansion.rebuilt {
+            self.ctx_rebuilds += 1;
+        } else {
+            self.ctx_derives += 1;
+        }
+        for candidate in expansion.candidates {
+            if self.seen.contains(&candidate.fingerprint) {
+                self.dedup_hits += 1;
+                continue;
+            }
+            if (candidate.cost as f64) < config.gamma * self.best_cost as f64 {
+                if candidate.cost < self.best_cost {
+                    self.best_cost = candidate.cost;
+                    self.best_circuit = candidate.circuit.clone();
+                    self.improvement_trace
+                        .push((start.elapsed(), self.best_cost));
+                }
+                self.order += 1;
+                self.seen.insert(candidate.fingerprint);
+                let ctx = if config.incremental_contexts {
+                    CtxSource::Derived {
+                        parent: Arc::clone(&expansion.ctx),
+                        delta: candidate.delta,
+                    }
+                } else {
+                    CtxSource::Root
+                };
+                self.queue.push(QueueEntry {
+                    cost: candidate.cost,
+                    order: self.order,
+                    circuit: candidate.circuit,
+                    ctx,
+                });
+            }
+        }
+    }
+
+    /// Queue capping (paper §7.2): when the queue outgrows the prune
+    /// threshold, keep only the best `queue_keep` entries.
+    pub(crate) fn prune_queue(&mut self, config: &SearchConfig) {
+        if self.queue.len() > config.queue_prune_threshold {
+            let mut entries: Vec<QueueEntry> = std::mem::take(&mut self.queue).into_sorted_vec();
+            // into_sorted_vec is ascending by Ord, i.e. highest priority
+            // (lowest cost) last; keep the best `queue_keep`.
+            entries.reverse();
+            entries.truncate(config.queue_keep);
+            self.queue = entries.into_iter().collect();
+        }
+    }
+
+    /// Finalizes the frontier into a [`SearchResult`].
+    pub(crate) fn into_result(self, elapsed: Duration) -> SearchResult {
+        SearchResult {
+            best_circuit: self.best_circuit,
+            best_cost: self.best_cost,
+            initial_cost: self.initial_cost,
+            iterations: self.iterations,
+            circuits_seen: self.seen.len(),
+            elapsed,
+            improvement_trace: self.improvement_trace,
+            match_attempts: self.match_attempts,
+            match_skips: self.match_skips,
+            dedup_hits: self.dedup_hits,
+            ctx_rebuilds: self.ctx_rebuilds,
+            ctx_derives: self.ctx_derives,
+        }
+    }
+}
+
+/// Runs `expand` over every work item — inline for a single item, on up to
+/// `threads` workers otherwise — returning results in input order regardless
+/// of thread scheduling. The single determinism-critical expansion dispatch,
+/// shared by [`Optimizer::optimize`] and the multi-circuit
+/// [`crate::service::OptimizationService`] so the two drivers cannot drift.
+pub(crate) fn expand_in_order<T, F>(items: &[T], threads: usize, expand: F) -> Vec<Expansion>
+where
+    T: Sync,
+    F: Fn(&T) -> Expansion + Sync,
+{
+    if items.len() <= 1 {
+        items.iter().map(expand).collect()
+    } else {
+        items
+            .par_iter()
+            .with_max_threads(threads)
+            .map(expand)
+            .collect()
+    }
 }
 
 /// The cost-based backtracking optimizer.
@@ -314,58 +532,20 @@ impl Optimizer {
     /// Runs Algorithm 2 on the input circuit.
     pub fn optimize(&self, input: &Circuit) -> SearchResult {
         let start = Instant::now();
-        let cost_model = self.config.cost_model;
-        let gamma = self.config.gamma;
-        let initial_cost = cost_model.cost(input);
-
-        let canonical_input = canonicalize(input);
-        let mut best_circuit = canonical_input.clone();
-        let mut best_cost = initial_cost;
-        let mut improvement_trace = vec![(Duration::ZERO, best_cost)];
-
-        let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
-        let mut seen: HashSet<u64> = HashSet::new();
-        let mut order = 0usize;
-        seen.insert(canonical_input.fingerprint());
-        queue.push(QueueEntry {
-            cost: initial_cost,
-            order,
-            circuit: canonical_input,
-            ctx: CtxSource::Root,
-        });
-
-        let mut iterations = 0usize;
-        let mut match_attempts = 0usize;
-        let mut match_skips = 0usize;
-        let mut dedup_hits = 0usize;
-        let mut ctx_rebuilds = 0usize;
-        let mut ctx_derives = 0usize;
-
+        let mut frontier = Frontier::new(input, self.config.cost_model);
         let batch_size = self.config.batch_size.max(1);
         let num_threads = self.config.effective_threads();
 
         loop {
-            if start.elapsed() > self.config.timeout || iterations >= self.config.max_iterations {
+            if start.elapsed() > self.config.timeout
+                || frontier.iterations() >= self.config.max_iterations
+            {
                 break;
             }
-            let take = batch_size.min(self.config.max_iterations - iterations);
-            let mut batch: Vec<QueueEntry> = Vec::with_capacity(take);
-            while batch.len() < take {
-                match queue.pop() {
-                    Some(entry) => batch.push(entry),
-                    None => break,
-                }
-            }
+            let take = batch_size.min(self.config.max_iterations - frontier.iterations());
+            let batch = frontier.pop_batch(take, start);
             if batch.is_empty() {
                 break;
-            }
-            iterations += batch.len();
-            for entry in &batch {
-                if entry.cost < best_cost {
-                    best_cost = entry.cost;
-                    best_circuit = entry.circuit.clone();
-                    improvement_trace.push((start.elapsed(), best_cost));
-                }
             }
 
             // Expand the batch. Workers only read state frozen before the
@@ -374,85 +554,21 @@ impl Optimizer {
             // candidate failing γ against the frozen best also fails against
             // any (only ever lower) merge-time best, and a fingerprint in the
             // frozen seen-set is still in it at merge time.
-            let frozen_best = best_cost;
-            let expansions: Vec<Expansion> = if batch.len() == 1 {
-                vec![self.expand_entry(&batch[0], frozen_best, &seen, start)]
-            } else {
-                batch
-                    .par_iter()
-                    .with_max_threads(num_threads)
-                    .map(|entry| self.expand_entry(entry, frozen_best, &seen, start))
-                    .collect()
-            };
+            let frozen_best = frontier.best_cost();
+            let expansions = expand_in_order(&batch, num_threads, |entry| {
+                self.expand_entry(entry, frozen_best, frontier.seen())
+            });
 
             // Deterministic merge in batch (priority) order; with
             // batch_size = 1 this interleaves with expansion exactly as the
             // sequential algorithm did.
             for expansion in expansions {
-                match_attempts += expansion.attempts;
-                match_skips += expansion.skips;
-                dedup_hits += expansion.dedup_hits;
-                if expansion.rebuilt {
-                    ctx_rebuilds += 1;
-                } else {
-                    ctx_derives += 1;
-                }
-                for candidate in expansion.candidates {
-                    if seen.contains(&candidate.fingerprint) {
-                        dedup_hits += 1;
-                        continue;
-                    }
-                    if (candidate.cost as f64) < gamma * best_cost as f64 {
-                        if candidate.cost < best_cost {
-                            best_cost = candidate.cost;
-                            best_circuit = candidate.circuit.clone();
-                            improvement_trace.push((start.elapsed(), best_cost));
-                        }
-                        order += 1;
-                        seen.insert(candidate.fingerprint);
-                        let ctx = if self.config.incremental_contexts {
-                            CtxSource::Derived {
-                                parent: Arc::clone(&expansion.ctx),
-                                delta: candidate.delta,
-                            }
-                        } else {
-                            CtxSource::Root
-                        };
-                        queue.push(QueueEntry {
-                            cost: candidate.cost,
-                            order,
-                            circuit: candidate.circuit,
-                            ctx,
-                        });
-                    }
-                }
+                frontier.merge(expansion, &self.config, start);
             }
-
-            // Queue capping (paper §7.2).
-            if queue.len() > self.config.queue_prune_threshold {
-                let mut entries: Vec<QueueEntry> = queue.into_sorted_vec();
-                // into_sorted_vec is ascending by Ord, i.e. highest priority
-                // (lowest cost) last; keep the best `queue_keep`.
-                entries.reverse();
-                entries.truncate(self.config.queue_keep);
-                queue = entries.into_iter().collect();
-            }
+            frontier.prune_queue(&self.config);
         }
 
-        SearchResult {
-            best_circuit,
-            best_cost,
-            initial_cost,
-            iterations,
-            circuits_seen: seen.len(),
-            elapsed: start.elapsed(),
-            improvement_trace,
-            match_attempts,
-            match_skips,
-            dedup_hits,
-            ctx_rebuilds,
-            ctx_derives,
-        }
+        frontier.into_result(start.elapsed())
     }
 
     /// Expands one dequeued circuit: materializes its [`MatchContext`]
@@ -462,14 +578,15 @@ impl Optimizer {
     /// canonicalizes/fingerprints/costs every successor. Candidates are
     /// sorted by (cost, fingerprint) so the expansion's output is a function
     /// of the candidate set alone — independent of the circuit's sequence
-    /// representation and of match enumeration order. Pure with respect to
-    /// the search state — safe to run on worker threads.
-    fn expand_entry(
+    /// representation, of match enumeration order, and of wall-clock time
+    /// (the timeout is checked between dequeued entries, never mid-scan).
+    /// Pure with respect to the search state — safe to run on worker
+    /// threads.
+    pub(crate) fn expand_entry(
         &self,
         entry: &QueueEntry,
         frozen_best: usize,
         seen: &HashSet<u64>,
-        start: Instant,
     ) -> Expansion {
         let (ctx, rebuilt) = match &entry.ctx {
             CtxSource::Root => (MatchContext::new(&entry.circuit), true),
@@ -488,9 +605,6 @@ impl Optimizer {
         let cost_model = self.config.cost_model;
         let gamma = self.config.gamma;
         for id in candidate_ids {
-            if start.elapsed() > self.config.timeout {
-                break;
-            }
             attempts += 1;
             let xform = &self.index.transformations()[id];
             for m in ctx.find_matches(&xform.target) {

@@ -1,0 +1,356 @@
+//! Multi-circuit optimization service: many concurrent searches over one
+//! shared [`TransformationIndex`] (DESIGN.md §6).
+//!
+//! [`Optimizer::optimize`] runs Algorithm 2 on one circuit at a time. The
+//! [`OptimizationService`] runs it on a *batch*: one [`Frontier`] per
+//! circuit — each with its own priority queue, fingerprint seen-set, and γ
+//! threshold — while the transformation index, built once, is shared by
+//! every request and never cloned. Frontier entries are self-contained
+//! `(circuit, parent context Arc, splice delta)` triples (PR 2), so any
+//! worker thread can materialize any entry's match context; that is what
+//! lets a single worker pool serve every frontier.
+//!
+//! # Work stealing and determinism
+//!
+//! Each scheduling step ranks the queue heads of all active frontiers by the
+//! global key `(cost, circuit id, order)` and selects the best `steal`
+//! frontiers; each selected frontier pops exactly the (budget-capped)
+//! `batch_size` batch the standalone driver would pop, every popped entry is
+//! expanded on the shared worker pool, and the expansions merge back into
+//! their frontiers in exactly the ranked key order. Worker time therefore
+//! flows to whichever circuits currently have the cheapest open candidates
+//! (cheap frontiers finish early and their share of the pool is "stolen" by
+//! the rest), yet every individual frontier still steps through exactly the
+//! pop → freeze → expand → merge → prune sequence of the standalone driver.
+//! Since frontiers share no mutable state, the interleaving across circuits
+//! cannot influence any per-circuit outcome: under an iteration budget,
+//! each circuit's [`SearchResult`] is bit-identical to a standalone
+//! [`Optimizer::optimize`] run (wall-clock fields aside), no matter how many
+//! worker threads the service uses.
+
+use crate::search::{Frontier, Optimizer, SearchConfig, SearchResult};
+use quartz_ir::Circuit;
+use std::time::{Duration, Instant};
+
+#[allow(unused_imports)] // rustdoc links
+use crate::index::TransformationIndex;
+
+/// A streamed per-circuit improvement snapshot (one entry of what will
+/// become the circuit's [`SearchResult::improvement_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceEvent {
+    /// Index of the circuit in the submitted batch.
+    pub circuit_id: usize,
+    /// Wall-clock time since the batch started.
+    pub elapsed: Duration,
+    /// The circuit's new best cost.
+    pub best_cost: usize,
+    /// Entries dequeued for this circuit so far.
+    pub iterations: usize,
+}
+
+/// A batch optimization service over one shared transformation index.
+///
+/// # Examples
+///
+/// ```
+/// use quartz_gen::{Generator, GenConfig};
+/// use quartz_ir::{Circuit, Gate, GateSet, Instruction};
+/// use quartz_opt::{OptimizationService, Optimizer, SearchConfig};
+/// use std::time::Duration;
+///
+/// let (ecc_set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 0)).run();
+/// let optimizer = Optimizer::from_ecc_set(&ecc_set, SearchConfig::with_timeout(Duration::from_secs(2)));
+/// let service = OptimizationService::new(optimizer);
+///
+/// // Two independent requests served concurrently over one index.
+/// let mut a = Circuit::new(2, 0);
+/// a.push(Instruction::new(Gate::H, vec![0], vec![]));
+/// a.push(Instruction::new(Gate::H, vec![0], vec![]));
+/// let mut b = Circuit::new(2, 0);
+/// b.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+/// b.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+///
+/// let results = service.optimize_batch(&[a, b]);
+/// assert_eq!(results.len(), 2);
+/// assert_eq!(results[0].best_cost, 0);
+/// assert_eq!(results[1].best_cost, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OptimizationService {
+    optimizer: Optimizer,
+}
+
+impl OptimizationService {
+    /// Creates a service around an existing optimizer (its transformation
+    /// index is built once and shared by every batch and every circuit).
+    pub fn new(optimizer: Optimizer) -> Self {
+        OptimizationService { optimizer }
+    }
+
+    /// Creates a service from an ECC set, extracting transformations with
+    /// common-subcircuit pruning enabled (paper §5.2).
+    pub fn from_ecc_set(set: &quartz_gen::EccSet, config: SearchConfig) -> Self {
+        OptimizationService::new(Optimizer::from_ecc_set(set, config))
+    }
+
+    /// The underlying optimizer (shared index + configuration).
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// Optimizes every circuit of the batch concurrently, returning one
+    /// [`SearchResult`] per input circuit, in input order.
+    ///
+    /// The configuration's `timeout` bounds the whole batch; `max_iterations`
+    /// and `batch_size` apply per circuit, exactly as in the standalone
+    /// driver. Each circuit's result is bit-identical (wall-clock fields
+    /// aside) to a standalone [`Optimizer::optimize`] run with the same
+    /// configuration whenever the run ends by iteration budget or queue
+    /// exhaustion.
+    pub fn optimize_batch(&self, circuits: &[Circuit]) -> Vec<SearchResult> {
+        self.optimize_batch_with_progress(circuits, |_| {})
+    }
+
+    /// Like [`OptimizationService::optimize_batch`], additionally streaming a
+    /// [`ServiceEvent`] to `progress` every time any circuit's best cost
+    /// improves. Events for one circuit arrive in improvement order
+    /// (strictly decreasing `best_cost`); events of different circuits
+    /// interleave in the deterministic merge order.
+    pub fn optimize_batch_with_progress<F>(
+        &self,
+        circuits: &[Circuit],
+        mut progress: F,
+    ) -> Vec<SearchResult>
+    where
+        F: FnMut(ServiceEvent),
+    {
+        let config = self.optimizer.config();
+        let start = Instant::now();
+        let steal = config.effective_threads().max(1);
+        let batch_size = config.batch_size.max(1);
+        let mut frontiers: Vec<Frontier> = circuits
+            .iter()
+            .map(|c| Frontier::new(c, config.cost_model))
+            .collect();
+
+        loop {
+            if start.elapsed() > config.timeout {
+                break;
+            }
+            // Rank the queue heads of every active frontier by the global
+            // work-stealing key and select the best `steal` frontiers.
+            let mut tops: Vec<(usize, usize, usize)> = frontiers
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.iterations() < config.max_iterations)
+                .filter_map(|(id, f)| f.peek_key().map(|(cost, order)| (cost, id, order)))
+                .collect();
+            if tops.is_empty() {
+                break;
+            }
+            tops.sort_unstable();
+            tops.truncate(steal);
+
+            // Each selected frontier pops exactly the (budget-capped) batch
+            // the standalone driver would pop and freezes its own best cost,
+            // so every frontier follows its standalone trajectory step for
+            // step. The trace length is snapshotted first so the events
+            // streamed below cover the whole step, pops included.
+            let mut groups: Vec<(usize, usize, usize)> = Vec::with_capacity(tops.len());
+            let mut work: Vec<(usize, usize, crate::search::QueueEntry)> = Vec::new();
+            for &(_, id, _) in &tops {
+                let trace_len_before = frontiers[id].improvement_trace().len();
+                let take = batch_size.min(config.max_iterations - frontiers[id].iterations());
+                let popped = frontiers[id].pop_batch(take, start);
+                let frozen_best = frontiers[id].best_cost();
+                groups.push((id, popped.len(), trace_len_before));
+                work.extend(popped.into_iter().map(|entry| (id, frozen_best, entry)));
+            }
+
+            // Expand every popped entry on the shared worker pool. Workers
+            // read only per-frontier state frozen before the step (each
+            // frontier's best cost and seen-set), exactly as the standalone
+            // driver freezes its own state before an expansion.
+            let expansions =
+                crate::search::expand_in_order(&work, steal, |(id, frozen_best, entry)| {
+                    self.optimizer
+                        .expand_entry(entry, *frozen_best, frontiers[*id].seen())
+                });
+
+            // Merge in the global key order — fixed before expansion, so the
+            // outcome is independent of thread scheduling.
+            let mut expansions = expansions.into_iter();
+            for (id, count, trace_len_before) in groups {
+                let frontier = &mut frontiers[id];
+                for expansion in expansions.by_ref().take(count) {
+                    frontier.merge(expansion, config, start);
+                }
+                let iterations = frontier.iterations();
+                for &(elapsed, best_cost) in &frontier.improvement_trace()[trace_len_before..] {
+                    progress(ServiceEvent {
+                        circuit_id: id,
+                        elapsed,
+                        best_cost,
+                        iterations,
+                    });
+                }
+                frontier.prune_queue(config);
+            }
+        }
+
+        let elapsed = start.elapsed();
+        frontiers
+            .into_iter()
+            .map(|f| f.into_result(elapsed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_gen::{GenConfig, Generator};
+    use quartz_ir::{Gate, GateSet, Instruction};
+
+    fn nam_service(max_iterations: usize, num_threads: usize) -> OptimizationService {
+        let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 0)).run();
+        OptimizationService::from_ecc_set(
+            &set,
+            SearchConfig {
+                timeout: Duration::from_secs(120),
+                max_iterations,
+                num_threads,
+                ..SearchConfig::default()
+            },
+        )
+    }
+
+    fn h_ladder(n: usize) -> Circuit {
+        let mut c = Circuit::new(2, 0);
+        for _ in 0..n {
+            c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        }
+        c
+    }
+
+    fn cnot_pairs(n: usize) -> Circuit {
+        let mut c = Circuit::new(2, 0);
+        for _ in 0..n {
+            c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        }
+        c
+    }
+
+    #[test]
+    fn empty_batch_yields_no_results() {
+        let service = nam_service(4, 1);
+        assert!(service.optimize_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_results_match_standalone_runs() {
+        let service = nam_service(10, 4);
+        let batch = vec![h_ladder(4), cnot_pairs(3), h_ladder(6)];
+        let results = service.optimize_batch(&batch);
+        assert_eq!(results.len(), batch.len());
+        for (circuit, batched) in batch.iter().zip(&results) {
+            let solo = service.optimizer().optimize(circuit);
+            assert_eq!(batched.best_circuit, solo.best_circuit);
+            assert_eq!(batched.best_cost, solo.best_cost);
+            assert_eq!(batched.initial_cost, solo.initial_cost);
+            assert_eq!(batched.iterations, solo.iterations);
+            assert_eq!(batched.circuits_seen, solo.circuits_seen);
+            assert_eq!(batched.match_attempts, solo.match_attempts);
+            assert_eq!(batched.match_skips, solo.match_skips);
+            assert_eq!(batched.dedup_hits, solo.dedup_hits);
+            assert_eq!(batched.ctx_rebuilds, solo.ctx_rebuilds);
+            assert_eq!(batched.ctx_derives, solo.ctx_derives);
+        }
+    }
+
+    /// The bit-identity guarantee holds for `batch_size > 1` too: each
+    /// selected frontier pops the same multi-entry batches the standalone
+    /// driver pops.
+    #[test]
+    fn batched_config_results_match_standalone_runs_too() {
+        let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 0)).run();
+        let service = OptimizationService::from_ecc_set(
+            &set,
+            SearchConfig {
+                timeout: Duration::from_secs(120),
+                max_iterations: 10,
+                num_threads: 2,
+                batch_size: 3,
+                ..SearchConfig::default()
+            },
+        );
+        let batch = vec![h_ladder(6), cnot_pairs(4), h_ladder(3)];
+        let results = service.optimize_batch(&batch);
+        for (circuit, batched) in batch.iter().zip(&results) {
+            let solo = service.optimizer().optimize(circuit);
+            assert_eq!(batched.best_circuit, solo.best_circuit);
+            assert_eq!(batched.best_cost, solo.best_cost);
+            assert_eq!(batched.iterations, solo.iterations);
+            assert_eq!(batched.circuits_seen, solo.circuits_seen);
+            assert_eq!(batched.match_attempts, solo.match_attempts);
+            assert_eq!(batched.dedup_hits, solo.dedup_hits);
+            assert_eq!(batched.ctx_rebuilds, solo.ctx_rebuilds);
+            assert_eq!(batched.ctx_derives, solo.ctx_derives);
+        }
+    }
+
+    #[test]
+    fn batch_runs_are_reproducible() {
+        let service = nam_service(8, 3);
+        let batch = vec![h_ladder(5), cnot_pairs(2), h_ladder(3), cnot_pairs(4)];
+        let a = service.optimize_batch(&batch);
+        let b = service.optimize_batch(&batch);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.best_circuit, rb.best_circuit);
+            assert_eq!(ra.best_cost, rb.best_cost);
+            assert_eq!(ra.iterations, rb.iterations);
+            assert_eq!(ra.circuits_seen, rb.circuits_seen);
+        }
+    }
+
+    #[test]
+    fn progress_events_stream_per_circuit_improvements() {
+        let service = nam_service(12, 2);
+        let batch = vec![h_ladder(4), cnot_pairs(4)];
+        let mut events: Vec<ServiceEvent> = Vec::new();
+        let results = service.optimize_batch_with_progress(&batch, |e| events.push(e));
+
+        // Both circuits reduce to the empty circuit, so both must stream at
+        // least one improvement, and per-circuit costs strictly decrease.
+        for (id, result) in results.iter().enumerate() {
+            assert_eq!(result.best_cost, 0);
+            let costs: Vec<usize> = events
+                .iter()
+                .filter(|e| e.circuit_id == id)
+                .map(|e| e.best_cost)
+                .collect();
+            assert!(!costs.is_empty(), "circuit {id} streamed no improvements");
+            assert!(costs.windows(2).all(|w| w[1] < w[0]));
+            assert_eq!(*costs.last().unwrap(), result.best_cost);
+            // The streamed snapshots are exactly the improvement trace minus
+            // its initial (t = 0, initial cost) entry.
+            let trace_costs: Vec<usize> = result
+                .improvement_trace
+                .iter()
+                .skip(1)
+                .map(|&(_, c)| c)
+                .collect();
+            assert_eq!(costs, trace_costs);
+        }
+    }
+
+    #[test]
+    fn per_circuit_iteration_budget_is_respected() {
+        let service = nam_service(3, 4);
+        let batch = vec![h_ladder(6), h_ladder(6), cnot_pairs(6)];
+        for result in service.optimize_batch(&batch) {
+            assert!(result.iterations <= 3, "got {}", result.iterations);
+        }
+    }
+}

@@ -5,7 +5,8 @@ use quartz::circuits::suite;
 use quartz::gen::{prune, GenConfig, Generator};
 use quartz::ir::{equivalent_up_to_phase, Circuit, Gate, GateSet, Instruction, ParamExpr};
 use quartz::opt::{
-    greedy_optimize, preprocess_ibm, preprocess_nam, preprocess_rigetti, Optimizer, SearchConfig,
+    greedy_optimize, preprocess_ibm, preprocess_nam, preprocess_rigetti, OptimizationService,
+    Optimizer, SearchConfig,
 };
 use quartz::verify::Verifier;
 use std::time::Duration;
@@ -141,6 +142,72 @@ fn figure_6_style_cnot_flip_sequence_is_reachable() {
         &[],
         1e-9
     ));
+}
+
+/// Acceptance check for the optimization service: every circuit of a mixed
+/// NAM batch — optimized concurrently over one shared transformation index,
+/// with work stealing across frontiers — must get a `SearchResult`
+/// bit-identical (wall-clock fields aside) to a standalone
+/// `Optimizer::optimize` run under the same iteration budget.
+#[test]
+fn service_batch_is_bit_identical_to_standalone_optimizer_runs() {
+    let set = nam_ecc_set(2, 2, 0);
+    let service = OptimizationService::from_ecc_set(
+        &set,
+        SearchConfig {
+            timeout: Duration::from_secs(300),
+            max_iterations: 12,
+            num_threads: 4,
+            ..SearchConfig::default()
+        },
+    );
+
+    // A mixed batch: two preprocessed benchmark circuits of different sizes
+    // and a toy circuit that optimizes to a single gate.
+    let mut toy = Circuit::new(2, 0);
+    toy.push(Instruction::new(Gate::H, vec![0], vec![]));
+    toy.push(Instruction::new(Gate::H, vec![0], vec![]));
+    toy.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+    let batch = vec![
+        preprocess_nam(&suite::build_clifford_t("tof_3").unwrap()),
+        toy,
+        preprocess_nam(&suite::build_clifford_t("mod5_4").unwrap()),
+    ];
+
+    let mut events = Vec::new();
+    let results = service.optimize_batch_with_progress(&batch, |e| events.push(e));
+    assert_eq!(results.len(), batch.len());
+
+    for (id, (circuit, batched)) in batch.iter().zip(&results).enumerate() {
+        let solo = service.optimizer().optimize(circuit);
+        assert_eq!(batched.best_circuit, solo.best_circuit, "circuit {id}");
+        assert_eq!(batched.best_cost, solo.best_cost, "circuit {id}");
+        assert_eq!(batched.initial_cost, solo.initial_cost, "circuit {id}");
+        assert_eq!(batched.iterations, solo.iterations, "circuit {id}");
+        assert_eq!(batched.circuits_seen, solo.circuits_seen, "circuit {id}");
+        assert_eq!(batched.match_attempts, solo.match_attempts, "circuit {id}");
+        assert_eq!(batched.match_skips, solo.match_skips, "circuit {id}");
+        assert_eq!(batched.dedup_hits, solo.dedup_hits, "circuit {id}");
+        assert_eq!(batched.ctx_rebuilds, solo.ctx_rebuilds, "circuit {id}");
+        assert_eq!(batched.ctx_derives, solo.ctx_derives, "circuit {id}");
+        let batched_trace: Vec<usize> = batched.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let solo_trace: Vec<usize> = solo.improvement_trace.iter().map(|&(_, c)| c).collect();
+        assert_eq!(batched_trace, solo_trace, "circuit {id}");
+        assert!(equivalent_up_to_phase(
+            circuit,
+            &batched.best_circuit,
+            &[],
+            1e-8
+        ));
+        // The streamed events reproduce the circuit's improvement trace
+        // (minus its initial entry).
+        let streamed: Vec<usize> = events
+            .iter()
+            .filter(|e| e.circuit_id == id)
+            .map(|e| e.best_cost)
+            .collect();
+        assert_eq!(streamed, batched_trace[1..].to_vec(), "circuit {id}");
+    }
 }
 
 #[test]
