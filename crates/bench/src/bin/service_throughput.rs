@@ -1,17 +1,28 @@
 //! Batch-service throughput driver: optimizes the NAM benchmark suite as
 //! one batch through the `OptimizationService` and reports circuits/sec at
-//! 1 worker thread vs. all available cores.
+//! 1 worker thread vs. all available cores — plus the **startup cost** of
+//! the two ways a service can come up:
 //!
-//! Per-circuit results are bit-identical across thread counts (the service's
-//! work-stealing merge order is deterministic), so the speedup column is an
-//! apples-to-apples comparison of the same search work.
+//! * *generate*: run RepGen + pruning + transformation extraction + index
+//!   construction at startup (the historical path);
+//! * *load*: read the committed `libraries/<set>_n<N>_q<Q>.qtzl` artifact —
+//!   ECC payload and prebuilt index — through the `LibraryCache`
+//!   (DESIGN.md §7).
+//!
+//! Both paths must produce bit-identical per-circuit results (asserted
+//! below), and per-circuit results are also bit-identical across thread
+//! counts (the service's work-stealing merge order is deterministic), so
+//! every column is an apples-to-apples comparison of the same search work.
 //!
 //! Usage: `cargo run --release -p quartz-bench --bin service_throughput
 //! [-- --scale full --timeout <secs> --n <n> --q <q> --threads <t>]`
 
-use quartz_bench::{build_ecc_set, GateSetKind, Scale};
+use quartz_bench::{build_ecc_set, library_artifact_path, GateSetKind, Scale};
 use quartz_ir::Circuit;
-use quartz_opt::{OptimizationService, SearchConfig, SearchResult};
+use quartz_opt::{
+    LibraryCache, LoadedLibrary, OptimizationService, Optimizer, SearchConfig, SearchResult,
+};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The thread-count-independent fields of a [`SearchResult`] — everything a
@@ -65,7 +76,62 @@ fn main() {
                 .unwrap_or(1)
         });
 
+    // -- Startup: generate-at-startup vs. load-a-committed-artifact --------
+    let generate_start = Instant::now();
     let (ecc_set, _) = build_ecc_set(kind, scale.ecc_n, scale.ecc_q);
+    let generated = Optimizer::from_ecc_set(&ecc_set, SearchConfig::default()).shared_index();
+    let generate_startup = generate_start.elapsed();
+
+    let artifact = library_artifact_path(kind, scale.ecc_n, scale.ecc_q);
+    let loaded: Option<Arc<LoadedLibrary>> = match LibraryCache::new().get_or_load(&artifact) {
+        Ok(library) => Some(library),
+        Err(e) => {
+            println!(
+                "note: no loadable artifact for this scale ({e}); startup comparison skipped\n"
+            );
+            None
+        }
+    };
+
+    println!("== Service startup: generate vs load ==");
+    println!("{:>10} {:>12}   Detail", "Path", "Startup");
+    println!(
+        "{:>10} {:>12.2?}   RepGen + prune + extract + index build (n={}, q={})",
+        "generate", generate_startup, scale.ecc_n, scale.ecc_q
+    );
+    if let Some(library) = &loaded {
+        let load_startup = library.load_time();
+        println!(
+            "{:>10} {:>12.2?}   {} ({} transformations, index {})",
+            "load",
+            load_startup,
+            library.path().display(),
+            library.shared_index().len(),
+            if library.index_was_prebuilt() {
+                "prebuilt"
+            } else {
+                "rebuilt"
+            }
+        );
+        let speedup = generate_startup.as_secs_f64() / load_startup.as_secs_f64().max(1e-9);
+        println!(
+            "{:>10} {:>11.1}x   faster startup from the artifact",
+            "", speedup
+        );
+        assert!(
+            load_startup.saturating_mul(10) <= generate_startup,
+            "artifact load ({load_startup:?}) should be at least 10x faster than \
+             generate-at-startup ({generate_startup:?})"
+        );
+        assert_eq!(
+            library.shared_index().len(),
+            generated.len(),
+            "the committed artifact is stale: its index disagrees with the generator \
+             (run `quartz-lib generate` to refresh it)"
+        );
+    }
+    println!();
+
     let batch: Vec<Circuit> = scale
         .suite
         .iter()
@@ -81,20 +147,23 @@ fn main() {
         scale.max_iterations
     );
 
-    let run = |threads: usize| -> (Duration, Vec<SearchResult>) {
+    let config = |threads: usize| -> SearchConfig {
         // The iteration budget must be the binding constraint: runs cut off
         // by the wall clock are legitimately thread-count-dependent, which
         // would void the bit-identicality assertion below. Leave the timeout
         // an order of magnitude above the per-circuit budgets.
-        let service = OptimizationService::from_ecc_set(
-            &ecc_set,
-            SearchConfig {
-                timeout: scale.search_timeout.saturating_mul(10 * batch.len() as u32),
-                max_iterations: scale.max_iterations,
-                num_threads: threads,
-                ..SearchConfig::default()
-            },
-        );
+        SearchConfig {
+            timeout: scale.search_timeout.saturating_mul(10 * batch.len() as u32),
+            max_iterations: scale.max_iterations,
+            num_threads: threads,
+            ..SearchConfig::default()
+        }
+    };
+    let run = |index: &Arc<quartz_opt::TransformationIndex>,
+               threads: usize|
+     -> (Duration, Vec<SearchResult>) {
+        let service =
+            OptimizationService::new(Optimizer::with_index(Arc::clone(index), config(threads)));
         let start = Instant::now();
         let results = service.optimize_batch(&batch);
         (start.elapsed(), results)
@@ -106,35 +175,45 @@ fn main() {
         vec![1]
     };
     println!(
-        "{:>8} {:>12} {:>14} {:>12} {:>10}",
-        "Threads", "Elapsed", "Circuits/sec", "Total gates", "Speedup"
+        "{:>8} {:>10} {:>12} {:>14} {:>12} {:>10}",
+        "Threads", "Index", "Elapsed", "Circuits/sec", "Total gates", "Speedup"
     );
     let mut baseline_secs = 0.0;
     let mut baseline: Option<Vec<RunSummary>> = None;
     for &threads in &thread_counts {
-        let (elapsed, results) = run(threads);
-        let secs = elapsed.as_secs_f64();
-        let total: usize = results.iter().map(|r| r.best_cost).sum();
-        // Bit-identical across thread counts: not just the best cost but the
-        // whole trajectory (iterations, states seen, match attempts).
-        let summary: Vec<RunSummary> = results.iter().map(RunSummary::of).collect();
-        match &baseline {
-            None => {
-                baseline_secs = secs;
-                baseline = Some(summary);
-            }
-            Some(expected) => assert_eq!(
-                expected, &summary,
-                "per-circuit results must be identical across thread counts"
-            ),
+        let mut indexes: Vec<(&str, Arc<quartz_opt::TransformationIndex>)> =
+            vec![("generated", Arc::clone(&generated))];
+        if let Some(library) = &loaded {
+            indexes.push(("loaded", library.shared_index()));
         }
-        println!(
-            "{:>8} {:>12.2?} {:>14.2} {:>12} {:>9.2}x",
-            threads,
-            elapsed,
-            batch.len() as f64 / secs,
-            total,
-            baseline_secs / secs
-        );
+        for (label, index) in indexes {
+            let (elapsed, results) = run(&index, threads);
+            let secs = elapsed.as_secs_f64();
+            let total: usize = results.iter().map(|r| r.best_cost).sum();
+            // Bit-identical across thread counts *and* across the two
+            // startup paths: not just the best cost but the whole trajectory
+            // (iterations, states seen, match attempts).
+            let summary: Vec<RunSummary> = results.iter().map(RunSummary::of).collect();
+            match &baseline {
+                None => {
+                    baseline_secs = secs;
+                    baseline = Some(summary);
+                }
+                Some(expected) => assert_eq!(
+                    expected, &summary,
+                    "per-circuit results must be identical across thread counts and \
+                     across the generate/load startup paths"
+                ),
+            }
+            println!(
+                "{:>8} {:>10} {:>12.2?} {:>14.2} {:>12} {:>9.2}x",
+                threads,
+                label,
+                elapsed,
+                batch.len() as f64 / secs,
+                total,
+                baseline_secs / secs
+            );
+        }
     }
 }

@@ -226,6 +226,20 @@ pub fn build_ecc_set(kind: GateSetKind, n: usize, q: usize) -> (EccSet, GenStats
     (pruned, stats)
 }
 
+/// The workspace's committed pre-generated library artifacts (`libraries/`
+/// at the repository root, produced by `quartz-lib generate` and verified in
+/// CI; see DESIGN.md §7).
+pub fn libraries_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../libraries")
+}
+
+/// Conventional artifact path for a gate set at `(n, q)`:
+/// `libraries/<gateset>_n<N>_q<Q>.qtzl` (the parameter count `m` is the
+/// paper's per-gate-set default, [`GateSetKind::num_params`]).
+pub fn library_artifact_path(kind: GateSetKind, n: usize, q: usize) -> std::path::PathBuf {
+    libraries_dir().join(format!("{}_n{n}_q{q}.qtzl", kind.name().to_lowercase()))
+}
+
 /// One row of a Table 2/3/4-style report.
 #[derive(Debug, Clone)]
 pub struct CircuitRow {

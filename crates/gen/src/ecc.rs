@@ -1,9 +1,34 @@
 //! Equivalent circuit classes (ECCs) and ECC sets (paper §2).
+//!
+//! An [`EccSet`] is the compact representation of a transformation library:
+//! each class's representative pairs with every other member to yield the
+//! optimizer's rewrite rules (see [`crate::transformations_from_ecc_set`]).
+//! Sets serialize two ways — as interchange JSON ([`EccSet::to_json`],
+//! [`EccSet::save`]) and as the compact binary `QTZL` artifacts of
+//! [`crate::library`] that services load at startup.
+//!
+//! # Examples
+//!
+//! ```
+//! use quartz_gen::{Ecc, EccSet};
+//! use quartz_ir::{Circuit, Gate, Instruction};
+//!
+//! let mut hh = Circuit::new(1, 0);
+//! hh.push(Instruction::new(Gate::H, vec![0], vec![]));
+//! hh.push(Instruction::new(Gate::H, vec![0], vec![]));
+//! let mut set = EccSet::new(1, 0);
+//! set.eccs.push(Ecc::new(vec![hh, Circuit::new(1, 0)]));
+//!
+//! // The empty circuit is ≺-minimal, so it becomes the representative,
+//! // and the two-member class represents 2·1 = 2 transformations.
+//! assert!(set.eccs[0].representative().is_empty());
+//! assert_eq!(set.num_transformations(), 2);
+//! assert_eq!(EccSet::from_json(&set.to_json()).unwrap(), set);
+//! ```
 
 use quartz_ir::Circuit;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::io::{Read, Write};
 use std::path::Path;
 
 /// An equivalence class of circuits. The first circuit is the representative
@@ -160,7 +185,7 @@ impl EccSet {
     /// # Errors
     ///
     /// Returns a description of the first syntax or shape error on malformed
-    /// input.
+    /// input, with the line, column, and byte offset of the offending token.
     pub fn from_json(json: &str) -> Result<EccSet, String> {
         crate::json::ecc_set_from_json(json)
     }
@@ -169,22 +194,27 @@ impl EccSet {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
+    /// Propagates I/O errors, with `path` included in the error message.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_json().as_bytes())
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()).map_err(|e| crate::path_io_error(path, e))
     }
 
     /// Reads a set from a JSON file.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors and reports malformed JSON.
+    /// Propagates I/O errors and reports malformed JSON; either way the
+    /// error message names the offending path.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<EccSet> {
-        let mut f = std::fs::File::open(path)?;
-        let mut s = String::new();
-        f.read_to_string(&mut s)?;
-        EccSet::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let path = path.as_ref();
+        let s = std::fs::read_to_string(path).map_err(|e| crate::path_io_error(path, e))?;
+        EccSet::from_json(&s).map_err(|e| {
+            crate::path_io_error(
+                path,
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e),
+            )
+        })
     }
 }
 
@@ -268,5 +298,28 @@ mod tests {
         set.save(&path).unwrap();
         let back = EccSet::load(&path).unwrap();
         assert_eq!(set, back);
+    }
+
+    #[test]
+    fn save_and_load_errors_name_the_path() {
+        let missing = std::env::temp_dir().join("quartz_ecc_test_no_such_file.json");
+        let err = EccSet::load(&missing).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("quartz_ecc_test_no_such_file.json"),
+            "load error must name the path: {err}"
+        );
+
+        let bad = std::env::temp_dir().join("quartz_ecc_test_bad.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        let err = EccSet::load(&bad).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("quartz_ecc_test_bad.json"));
+
+        let set = EccSet::new(1, 0);
+        let err = set
+            .save(std::env::temp_dir().join("quartz_no_such_dir/set.json"))
+            .unwrap_err();
+        assert!(err.to_string().contains("quartz_no_such_dir"));
     }
 }

@@ -20,6 +20,12 @@
 //! zero matches, so the surviving candidate list — returned in original
 //! transformation order — produces exactly the same rewrites as the full
 //! linear scan, and the search explores an identical state space.
+//!
+//! The index lives in `quartz-gen` (next to the ECC sets it is derived from)
+//! so that persisted library artifacts ([`crate::library`], DESIGN.md §7)
+//! can embed a *prebuilt* index section and services can skip both
+//! generation and index construction at startup; the optimizer crate
+//! re-exports it.
 
 use crate::xform::Transformation;
 use quartz_ir::{Gate, GateHistogram};
@@ -44,8 +50,9 @@ pub struct TransformationIndex {
 
 impl TransformationIndex {
     /// Builds the index. Transformations with an empty target pattern are
-    /// rejected upstream (see `transformations_from_ecc_set`); if one slips
-    /// through it is bucketed under an arbitrary anchor and always attempted.
+    /// rejected upstream (see [`crate::transformations_from_ecc_set`]); if
+    /// one slips through it is bucketed under an arbitrary anchor and always
+    /// attempted.
     pub fn new(transformations: Vec<Transformation>) -> Self {
         // Global frequency of each gate type across all target patterns,
         // used to pick the most selective anchor per pattern.
@@ -76,9 +83,90 @@ impl TransformationIndex {
         }
     }
 
+    /// Reassembles an index from its serialized parts (the prebuilt-index
+    /// section of a library artifact, DESIGN.md §7) without re-deriving the
+    /// anchor assignment.
+    ///
+    /// The parts are validated structurally — per-transformation histograms
+    /// must match each target's gate multiset, and the buckets must form a
+    /// partition of the transformation ids — so a corrupted or stale section
+    /// is rejected instead of silently changing dispatch behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn from_parts(
+        transformations: Vec<Transformation>,
+        histograms: Vec<GateHistogram>,
+        buckets: Vec<Vec<usize>>,
+    ) -> Result<Self, String> {
+        if histograms.len() != transformations.len() {
+            return Err(format!(
+                "index has {} transformations but {} pattern histograms",
+                transformations.len(),
+                histograms.len()
+            ));
+        }
+        if buckets.len() != Gate::COUNT {
+            return Err(format!(
+                "index has {} anchor buckets, expected one per gate type ({})",
+                buckets.len(),
+                Gate::COUNT
+            ));
+        }
+        for (id, (xform, histogram)) in transformations.iter().zip(&histograms).enumerate() {
+            if xform.target.gate_histogram() != histogram {
+                return Err(format!(
+                    "stored histogram of transformation {id} does not match its target pattern"
+                ));
+            }
+        }
+        let mut seen = vec![false; transformations.len()];
+        for bucket in &buckets {
+            for &id in bucket {
+                if id >= transformations.len() {
+                    return Err(format!(
+                        "bucket refers to transformation {id}, only {} exist",
+                        transformations.len()
+                    ));
+                }
+                if seen[id] {
+                    return Err(format!("transformation {id} appears in two anchor buckets"));
+                }
+                seen[id] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!(
+                "transformation {missing} is missing from every anchor bucket"
+            ));
+        }
+        Ok(TransformationIndex {
+            transformations,
+            metas: histograms
+                .into_iter()
+                .map(|histogram| PatternMeta { histogram })
+                .collect(),
+            buckets,
+        })
+    }
+
     /// The indexed transformations, in their original order.
     pub fn transformations(&self) -> &[Transformation] {
         &self.transformations
+    }
+
+    /// Per-transformation target-pattern histograms, in transformation order
+    /// (what the histogram-subsumption filter consults; serialized into the
+    /// prebuilt-index section).
+    pub fn pattern_histograms(&self) -> impl Iterator<Item = &GateHistogram> + '_ {
+        self.metas.iter().map(|m| &m.histogram)
+    }
+
+    /// The anchor buckets, one per [`Gate`] in [`quartz_ir::ALL_GATES`]
+    /// order: the transformation ids anchored on that gate type.
+    pub fn anchor_buckets(&self) -> &[Vec<usize>] {
+        &self.buckets
     }
 
     /// Number of indexed transformations.
@@ -173,5 +261,62 @@ mod tests {
         assert!(index.candidates_for(one_h.gate_histogram()).is_empty());
         let two_h = one_h.appended(instruction(Gate::H, &[1]));
         assert_eq!(index.candidates_for(two_h.gate_histogram()), vec![0]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_inconsistencies() {
+        let xforms = vec![
+            xform(&[(Gate::H, 0), (Gate::H, 0)], &[]),
+            xform(&[(Gate::X, 0)], &[(Gate::H, 0)]),
+        ];
+        let built = TransformationIndex::new(xforms);
+        let histograms: Vec<GateHistogram> = built.pattern_histograms().copied().collect();
+        let buckets = built.anchor_buckets().to_vec();
+        let rebuilt = TransformationIndex::from_parts(
+            built.transformations().to_vec(),
+            histograms.clone(),
+            buckets.clone(),
+        )
+        .unwrap();
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[1]));
+        assert_eq!(
+            built.candidates_for(c.gate_histogram()),
+            rebuilt.candidates_for(c.gate_histogram())
+        );
+
+        // Histogram mismatch is rejected.
+        let mut bad_histograms = histograms.clone();
+        bad_histograms.swap(0, 1);
+        assert!(TransformationIndex::from_parts(
+            built.transformations().to_vec(),
+            bad_histograms,
+            buckets.clone(),
+        )
+        .is_err());
+
+        // A duplicated bucket id is rejected.
+        let mut dup = buckets.clone();
+        let id = dup.iter().position(|b| !b.is_empty()).unwrap();
+        let first = dup[id][0];
+        dup[id].push(first);
+        assert!(TransformationIndex::from_parts(
+            built.transformations().to_vec(),
+            histograms.clone(),
+            dup,
+        )
+        .is_err());
+
+        // A missing id is rejected.
+        let mut missing = buckets;
+        let id = missing.iter().position(|b| !b.is_empty()).unwrap();
+        missing[id].clear();
+        assert!(TransformationIndex::from_parts(
+            built.transformations().to_vec(),
+            histograms,
+            missing,
+        )
+        .is_err());
     }
 }

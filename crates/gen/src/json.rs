@@ -1,9 +1,17 @@
 //! Hand-written JSON codec for [`EccSet`].
 //!
 //! The workspace builds fully offline, so `serde_json` is unavailable; ECC
-//! sets are the only artifact that needs durable serialization (they are the
-//! product of expensive generation runs), and their shape is small and fixed,
-//! so a direct codec is both simpler and faster than a generic framework.
+//! sets are the only artifact that needs durable *textual* serialization
+//! (they are the product of expensive generation runs, and JSON is the
+//! interchange format the original Quartz tooling reads), and their shape is
+//! small and fixed, so a direct codec is both simpler and faster than a
+//! generic framework. For the compact binary format services load at
+//! startup, see [`crate::library`] (`quartz-lib pack` converts between the
+//! two).
+//!
+//! Decoding errors carry source context: every syntax *and* shape error is
+//! reported with the line, column, and byte offset of the offending token,
+//! e.g. `unknown gate "nope" at line 3, column 18 (byte 57)`.
 //!
 //! The format matches what `serde_json` would produce for the derive
 //! annotations on these types:
@@ -92,12 +100,62 @@ fn write_circuit(out: &mut String, circuit: &Circuit) {
 // Decoding
 // ---------------------------------------------------------------------------
 
+/// An error with an optional byte offset into the source, rendered with
+/// line/column context once the whole decode fails.
+#[derive(Debug)]
+struct JsonError {
+    message: String,
+    offset: Option<usize>,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// Formats the error with 1-based line/column derived from `source`.
+    /// The column counts *characters*, not bytes (non-ASCII text before the
+    /// offending token must not shift it), while the raw byte offset is
+    /// reported alongside.
+    fn render(&self, source: &str) -> String {
+        match self.offset {
+            Some(offset) => {
+                let clamped = offset.min(source.len());
+                let prefix = &source.as_bytes()[..clamped];
+                let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
+                let line_start = prefix
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                let column = String::from_utf8_lossy(&prefix[line_start..])
+                    .chars()
+                    .count()
+                    + 1;
+                format!(
+                    "{} at line {line}, column {column} (byte {offset})",
+                    self.message
+                )
+            }
+            None => self.message.clone(),
+        }
+    }
+}
+
 /// Deserializes an ECC set from a JSON string.
 ///
 /// # Errors
 ///
-/// Returns a description of the first syntax or shape error encountered.
+/// Returns a description of the first syntax or shape error encountered,
+/// including the line, column, and byte offset of the offending token.
 pub fn ecc_set_from_json(json: &str) -> Result<EccSet, String> {
+    ecc_set_from_json_inner(json).map_err(|e| e.render(json))
+}
+
+fn ecc_set_from_json_inner(json: &str) -> Result<EccSet, JsonError> {
     let value = Parser::new(json).parse_document()?;
     let obj = value.as_object("ECC set")?;
     let num_qubits = obj.field("num_qubits")?.as_usize("num_qubits")?;
@@ -110,14 +168,17 @@ pub fn ecc_set_from_json(json: &str) -> Result<EccSet, String> {
             circuits.push(circuit_from_value(circuit_value)?);
         }
         if circuits.is_empty() {
-            return Err("an ECC must contain at least one circuit".to_string());
+            return Err(JsonError::at(
+                ecc_value.offset,
+                "an ECC must contain at least one circuit",
+            ));
         }
         set.eccs.push(Ecc::new(circuits));
     }
     Ok(set)
 }
 
-fn circuit_from_value(value: &JsonValue) -> Result<Circuit, String> {
+fn circuit_from_value(value: &Spanned) -> Result<Circuit, JsonError> {
     let obj = value.as_object("circuit")?;
     let num_qubits = obj.field("num_qubits")?.as_usize("num_qubits")?;
     let num_params = obj.field("num_params")?.as_usize("num_params")?;
@@ -130,31 +191,40 @@ fn circuit_from_value(value: &JsonValue) -> Result<Circuit, String> {
 }
 
 fn obj_to_instruction(
-    value: &JsonValue,
+    value: &Spanned,
     num_qubits: usize,
     num_params: usize,
-) -> Result<Instruction, String> {
+) -> Result<Instruction, JsonError> {
     let obj = value.as_object("instruction")?;
-    let gate_name = obj.field("gate")?.as_str("gate")?;
-    let gate = Gate::from_name(gate_name).ok_or_else(|| format!("unknown gate {gate_name:?}"))?;
+    let gate_field = obj.field("gate")?;
+    let gate_name = gate_field.as_str("gate")?;
+    let gate = Gate::from_name(gate_name)
+        .ok_or_else(|| JsonError::at(gate_field.offset, format!("unknown gate {gate_name:?}")))?;
     let mut qubits = Vec::new();
-    for q in obj.field("qubits")?.as_array("qubits")? {
-        let q = q.as_usize("qubit operand")?;
+    for q_value in obj.field("qubits")?.as_array("qubits")? {
+        let q = q_value.as_usize("qubit operand")?;
         if q >= num_qubits {
-            return Err(format!(
-                "qubit {q} out of range for circuit with {num_qubits} qubits"
+            return Err(JsonError::at(
+                q_value.offset,
+                format!("qubit {q} out of range for circuit with {num_qubits} qubits"),
             ));
         }
         if qubits.contains(&q) {
-            return Err(format!("repeated qubit operand {q} for gate {gate_name}"));
+            return Err(JsonError::at(
+                q_value.offset,
+                format!("repeated qubit operand {q} for gate {gate_name}"),
+            ));
         }
         qubits.push(q);
     }
     if qubits.len() != gate.num_qubits() {
-        return Err(format!(
-            "gate {gate_name} expects {} qubit operands, got {}",
-            gate.num_qubits(),
-            qubits.len()
+        return Err(JsonError::at(
+            value.offset,
+            format!(
+                "gate {gate_name} expects {} qubit operands, got {}",
+                gate.num_qubits(),
+                qubits.len()
+            ),
         ));
     }
     let mut params = Vec::new();
@@ -165,19 +235,25 @@ fn obj_to_instruction(
             coeffs.push(c.as_i32("parameter coefficient")?);
         }
         if coeffs.len() != num_params {
-            return Err(format!(
-                "parameter expression has {} coefficients, circuit has {num_params} parameters",
-                coeffs.len()
+            return Err(JsonError::at(
+                p.offset,
+                format!(
+                    "parameter expression has {} coefficients, circuit has {num_params} parameters",
+                    coeffs.len()
+                ),
             ));
         }
         let const_pi4 = p_obj.field("const_pi4")?.as_i32("const_pi4")?;
         params.push(ParamExpr::from_parts(coeffs, const_pi4));
     }
     if params.len() != gate.num_params() {
-        return Err(format!(
-            "gate {gate_name} expects {} parameters, got {}",
-            gate.num_params(),
-            params.len()
+        return Err(JsonError::at(
+            value.offset,
+            format!(
+                "gate {gate_name} expects {} parameters, got {}",
+                gate.num_params(),
+                params.len()
+            ),
         ));
     }
     Ok(Instruction::new(gate, qubits, params))
@@ -189,62 +265,108 @@ fn obj_to_instruction(
 
 #[derive(Debug, Clone, PartialEq)]
 enum JsonValue {
-    Object(Vec<(String, JsonValue)>),
-    Array(Vec<JsonValue>),
+    Object(Vec<(String, Spanned)>),
+    Array(Vec<Spanned>),
     String(String),
     Int(i64),
 }
 
-struct JsonObject<'a>(&'a [(String, JsonValue)]);
-
 impl JsonValue {
-    fn as_object(&self, what: &str) -> Result<JsonObject<'_>, String> {
+    fn describe(&self) -> String {
         match self {
-            JsonValue::Object(fields) => Ok(JsonObject(fields)),
-            other => Err(format!("expected {what} to be an object, found {other:?}")),
+            JsonValue::Object(_) => "an object".to_string(),
+            JsonValue::Array(_) => "an array".to_string(),
+            JsonValue::String(s) => format!("string {s:?}"),
+            JsonValue::Int(n) => format!("integer {n}"),
         }
     }
+}
 
-    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
-        match self {
-            JsonValue::Array(items) => Ok(items),
-            other => Err(format!("expected {what} to be an array, found {other:?}")),
-        }
-    }
+/// A parsed value together with the byte offset where it began — the anchor
+/// for shape-error messages.
+#[derive(Debug, Clone, PartialEq)]
+struct Spanned {
+    offset: usize,
+    value: JsonValue,
+}
 
-    fn as_str(&self, what: &str) -> Result<&str, String> {
-        match self {
-            JsonValue::String(s) => Ok(s),
-            other => Err(format!("expected {what} to be a string, found {other:?}")),
-        }
-    }
+struct JsonObject<'a> {
+    offset: usize,
+    fields: &'a [(String, Spanned)],
+}
 
-    fn as_usize(&self, what: &str) -> Result<usize, String> {
-        match self {
-            JsonValue::Int(n) if *n >= 0 => Ok(*n as usize),
-            other => Err(format!(
-                "expected {what} to be a non-negative integer, found {other:?}"
+impl Spanned {
+    fn as_object(&self, what: &str) -> Result<JsonObject<'_>, JsonError> {
+        match &self.value {
+            JsonValue::Object(fields) => Ok(JsonObject {
+                offset: self.offset,
+                fields,
+            }),
+            other => Err(JsonError::at(
+                self.offset,
+                format!(
+                    "expected {what} to be an object, found {}",
+                    other.describe()
+                ),
             )),
         }
     }
 
-    fn as_i32(&self, what: &str) -> Result<i32, String> {
-        match self {
-            JsonValue::Int(n) => {
-                i32::try_from(*n).map_err(|_| format!("{what} out of i32 range: {n}"))
-            }
-            other => Err(format!("expected {what} to be an integer, found {other:?}")),
+    fn as_array(&self, what: &str) -> Result<&[Spanned], JsonError> {
+        match &self.value {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(JsonError::at(
+                self.offset,
+                format!("expected {what} to be an array, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, JsonError> {
+        match &self.value {
+            JsonValue::String(s) => Ok(s),
+            other => Err(JsonError::at(
+                self.offset,
+                format!("expected {what} to be a string, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize, JsonError> {
+        match &self.value {
+            JsonValue::Int(n) if *n >= 0 => Ok(*n as usize),
+            other => Err(JsonError::at(
+                self.offset,
+                format!(
+                    "expected {what} to be a non-negative integer, found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    fn as_i32(&self, what: &str) -> Result<i32, JsonError> {
+        match &self.value {
+            JsonValue::Int(n) => i32::try_from(*n)
+                .map_err(|_| JsonError::at(self.offset, format!("{what} out of i32 range: {n}"))),
+            other => Err(JsonError::at(
+                self.offset,
+                format!(
+                    "expected {what} to be an integer, found {}",
+                    other.describe()
+                ),
+            )),
         }
     }
 }
 
 impl JsonObject<'_> {
-    fn field(&self, name: &str) -> Result<&JsonValue, String> {
-        self.0
+    fn field(&self, name: &str) -> Result<&Spanned, JsonError> {
+        self.fields
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing field {name:?}"))
+            .ok_or_else(|| JsonError::at(self.offset, format!("missing field {name:?}")))
     }
 }
 
@@ -261,11 +383,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_document(mut self) -> Result<JsonValue, String> {
+    fn parse_document(mut self) -> Result<Spanned, JsonError> {
         let value = self.parse_value()?;
         self.skip_whitespace();
         if self.pos != self.bytes.len() {
-            return Err(format!("trailing characters at byte {}", self.pos));
+            return Err(JsonError::at(self.pos, "trailing characters"));
         }
         Ok(value)
     }
@@ -280,40 +402,45 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn peek(&mut self) -> Result<u8, String> {
+    fn peek(&mut self) -> Result<u8, JsonError> {
         self.skip_whitespace();
         self.bytes
             .get(self.pos)
             .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
+            .ok_or_else(|| JsonError::at(self.pos, "unexpected end of input"))
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         let got = self.peek()?;
         if got != b {
-            return Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                b as char, self.pos, got as char
+            return Err(JsonError::at(
+                self.pos,
+                format!("expected {:?}, found {:?}", b as char, got as char),
             ));
         }
         self.pos += 1;
         Ok(())
     }
 
-    fn parse_value(&mut self) -> Result<JsonValue, String> {
-        match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(JsonValue::String(self.parse_string()?)),
-            b'-' | b'0'..=b'9' => self.parse_int(),
-            other => Err(format!(
-                "unexpected character {:?} at byte {}",
-                other as char, self.pos
-            )),
-        }
+    fn parse_value(&mut self) -> Result<Spanned, JsonError> {
+        let b = self.peek()?;
+        let offset = self.pos;
+        let value = match b {
+            b'{' => self.parse_object()?,
+            b'[' => self.parse_array()?,
+            b'"' => JsonValue::String(self.parse_string()?),
+            b'-' | b'0'..=b'9' => self.parse_int()?,
+            other => {
+                return Err(JsonError::at(
+                    self.pos,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        Ok(Spanned { offset, value })
     }
 
-    fn parse_object(&mut self) -> Result<JsonValue, String> {
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         if self.peek()? == b'}' {
@@ -321,6 +448,7 @@ impl<'a> Parser<'a> {
             return Ok(JsonValue::Object(fields));
         }
         loop {
+            self.peek()?;
             let key = self.parse_string()?;
             self.expect(b':')?;
             let value = self.parse_value()?;
@@ -332,16 +460,16 @@ impl<'a> Parser<'a> {
                     return Ok(JsonValue::Object(fields));
                 }
                 other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, found {:?}",
-                        self.pos, other as char
+                    return Err(JsonError::at(
+                        self.pos,
+                        format!("expected ',' or '}}', found {:?}", other as char),
                     ))
                 }
             }
         }
     }
 
-    fn parse_array(&mut self) -> Result<JsonValue, String> {
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
@@ -357,16 +485,16 @@ impl<'a> Parser<'a> {
                     return Ok(JsonValue::Array(items));
                 }
                 other => {
-                    return Err(format!(
-                        "expected ',' or ']' at byte {}, found {:?}",
-                        self.pos, other as char
+                    return Err(JsonError::at(
+                        self.pos,
+                        format!("expected ',' or ']', found {:?}", other as char),
                     ))
                 }
             }
         }
     }
 
-    fn parse_string(&mut self) -> Result<String, String> {
+    fn parse_string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         let mut segment_start = self.pos;
@@ -374,7 +502,7 @@ impl<'a> Parser<'a> {
             let b = *self
                 .bytes
                 .get(self.pos)
-                .ok_or_else(|| "unterminated string".to_string())?;
+                .ok_or_else(|| JsonError::at(self.pos, "unterminated string"))?;
             match b {
                 b'"' | b'\\' => {
                     // `"` and `\` are ASCII, so the segment boundaries fall on
@@ -391,7 +519,7 @@ impl<'a> Parser<'a> {
                     let esc = *self
                         .bytes
                         .get(self.pos)
-                        .ok_or_else(|| "unterminated escape".to_string())?;
+                        .ok_or_else(|| JsonError::at(self.pos, "unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -401,7 +529,10 @@ impl<'a> Parser<'a> {
                         b't' => out.push('\t'),
                         b'r' => out.push('\r'),
                         other => {
-                            return Err(format!("unsupported escape \\{}", other as char));
+                            return Err(JsonError::at(
+                                self.pos - 1,
+                                format!("unsupported escape \\{}", other as char),
+                            ));
                         }
                     }
                     segment_start = self.pos;
@@ -411,7 +542,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_int(&mut self) -> Result<JsonValue, String> {
+    fn parse_int(&mut self) -> Result<JsonValue, JsonError> {
         self.skip_whitespace();
         let start = self.pos;
         if self.bytes.get(self.pos) == Some(&b'-') {
@@ -423,7 +554,7 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
         text.parse::<i64>()
             .map(JsonValue::Int)
-            .map_err(|_| format!("invalid integer {text:?} at byte {start}"))
+            .map_err(|_| JsonError::at(start, format!("invalid integer {text:?}")))
     }
 }
 
@@ -431,35 +562,31 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
 
+    fn parse(input: &str) -> Result<Spanned, String> {
+        Parser::new(input)
+            .parse_document()
+            .map_err(|e| e.render(input))
+    }
+
     #[test]
     fn parser_handles_nesting_and_rejects_garbage() {
-        let v = Parser::new(r#"{"a":[1,-2,{"b":"x"}],"c":3}"#)
-            .parse_document()
-            .unwrap();
+        let v = parse(r#"{"a":[1,-2,{"b":"x"}],"c":3}"#).unwrap();
         let obj = v.as_object("root").unwrap();
         assert_eq!(obj.field("c").unwrap().as_usize("c").unwrap(), 3);
         let arr = obj.field("a").unwrap().as_array("a").unwrap();
         assert_eq!(arr[1].as_i32("x").unwrap(), -2);
-        assert!(Parser::new("not json").parse_document().is_err());
-        assert!(Parser::new("{\"a\":1").parse_document().is_err());
-        assert!(Parser::new("{\"a\":1} trailing").parse_document().is_err());
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"a\":1").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
     }
 
     #[test]
     fn strings_preserve_escapes_and_non_ascii() {
-        let v = Parser::new(r#"{"k":"π/4 → rz\n\"quoted\""}"#)
-            .parse_document()
-            .unwrap();
-        let s = v
-            .as_object("root")
-            .unwrap()
-            .field("k")
-            .unwrap()
-            .as_str("k")
-            .unwrap()
-            .to_string();
+        let v = parse(r#"{"k":"π/4 → rz\n\"quoted\""}"#).unwrap();
+        let obj = v.as_object("root").unwrap();
+        let s = obj.field("k").unwrap().as_str("k").unwrap().to_string();
         assert_eq!(s, "π/4 → rz\n\"quoted\"");
-        assert!(Parser::new(r#""bad \A escape""#).parse_document().is_err());
+        assert!(parse(r#""bad \A escape""#).is_err());
     }
 
     #[test]
@@ -481,5 +608,36 @@ mod tests {
         assert!(ecc_set_from_json(bad_arity)
             .unwrap_err()
             .contains("qubit operands"));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column_context() {
+        // The bogus gate name sits on line 2; the error must say so, and
+        // must point at the gate string, not the document start.
+        let bad_gate = "{\"num_qubits\":1,\"num_params\":0,\"eccs\":[{\"circuits\":[\n  \
+            {\"num_qubits\":1,\"num_params\":0,\"instructions\":[{\"gate\":\"nope\",\"qubits\":[0],\"params\":[]}]}\n\
+            ]}]}";
+        let err = ecc_set_from_json(bad_gate).unwrap_err();
+        assert!(err.contains("unknown gate \"nope\""), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("byte "), "{err}");
+
+        // Syntax errors carry the offset of the offending byte.
+        let err = ecc_set_from_json("{\"num_qubits\":1,\n!").unwrap_err();
+        assert!(err.contains("line 2, column 1"), "{err}");
+
+        // A shape error on a nested value points at that value.
+        let err =
+            ecc_set_from_json(r#"{"num_qubits":"one","num_params":0,"eccs":[]}"#).unwrap_err();
+        assert!(err.contains("non-negative integer"), "{err}");
+        assert!(err.contains("byte 14"), "{err}");
+
+        // Columns count characters, not bytes: the two-byte 'π' before the
+        // offending '!' (byte 6 but the 6th character, not the 7th) must
+        // not shift the reported column.
+        let err = ecc_set_from_json("{\"π\":!}").unwrap_err();
+        assert!(err.contains("column 6 (byte 6)"), "{err}");
+        let err = ecc_set_from_json("{\"ππ\":!}").unwrap_err();
+        assert!(err.contains("column 7 (byte 8)"), "{err}");
     }
 }

@@ -1,20 +1,29 @@
 //! # quartz-gen
 //!
 //! The circuit generator of the Quartz superoptimizer reproduction:
-//! the RepGen algorithm (paper §3), equivalent circuit classes, and the
-//! pruning passes of §5.
+//! the RepGen algorithm (paper §3), equivalent circuit classes, the pruning
+//! passes of §5, and the *persisted transformation library* layer that makes
+//! generation a one-time offline cost.
 //!
 //! * [`Generator`] runs Algorithm 1 for a gate set, producing an
 //!   (n, q)-complete [`EccSet`] together with [`GenStats`] (the metrics of
 //!   paper Tables 5, 6 and 8).
 //! * [`prune`] applies ECC simplification and common-subcircuit pruning.
+//! * [`transformations_from_ecc_set`] extracts the optimizer's rewrite-rule
+//!   list from a set, and [`TransformationIndex`] is the anchor-bucket +
+//!   histogram dispatch index built over it (DESIGN.md §2.2).
+//! * [`Library`] persists a set — and optionally its prebuilt index — as a
+//!   versioned, checksummed `QTZL` binary artifact (DESIGN.md §7) that
+//!   loads in milliseconds; the `quartz-lib` CLI
+//!   (`cargo run -p quartz-gen --bin quartz-lib`) packs, inspects and
+//!   verifies artifacts.
 //! * [`count_possible_circuits`] computes the brute-force sequence counts the
 //!   paper compares against in Table 6.
 //!
 //! # Example
 //!
 //! ```
-//! use quartz_gen::{Generator, GenConfig, prune};
+//! use quartz_gen::{Generator, GenConfig, prune, Library};
 //! use quartz_ir::GateSet;
 //!
 //! let (ecc_set, stats) = Generator::new(
@@ -25,6 +34,13 @@
 //! assert!(pruned.num_transformations() <= ecc_set.num_transformations());
 //! assert!(stats.circuits_considered > 0);
 //! assert!(prune_stats.circuits_before >= prune_stats.circuits_after_common_subcircuit);
+//!
+//! // Persist the pruned set (plus its prebuilt dispatch index) as a binary
+//! // artifact and load it back without regenerating anything.
+//! let artifact = Library::new(GateSet::nam().name(), pruned.clone(), true).to_bytes();
+//! let loaded = Library::from_bytes(&artifact).unwrap();
+//! assert_eq!(loaded.ecc_set(), &pruned);
+//! assert!(loaded.index().is_some());
 //! ```
 
 #![warn(missing_docs)]
@@ -32,11 +48,20 @@
 
 mod count;
 mod ecc;
+mod index;
 mod json;
+mod library;
 mod prune;
 mod repgen;
+mod xform;
 
 pub use count::{count_possible_circuits, count_sequences_by_size};
 pub use ecc::{Ecc, EccSet};
+pub use index::TransformationIndex;
+pub use library::{
+    artifact_checksum, checksum64, path_io_error, Library, LibraryError, LibraryHeader,
+    LibraryReader, FORMAT_VERSION, GENERATOR_VERSION, HEADER_LEN, MAGIC,
+};
 pub use prune::{prune, prune_common_subcircuits, simplify_eccs, PruneStats};
 pub use repgen::{GenConfig, GenStats, Generator};
+pub use xform::{transformations_from_ecc_set, Transformation};

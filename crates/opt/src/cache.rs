@@ -1,0 +1,232 @@
+//! Load-once caching of persisted transformation libraries (DESIGN.md §7).
+//!
+//! Generation is offline; a service process should pay for a library at most
+//! once, as a cold file read. [`LibraryCache`] maps artifact paths to
+//! [`LoadedLibrary`] entries — the decoded header plus the dispatch index
+//! behind an [`Arc`] — so any number of [`crate::Optimizer`]s and
+//! [`crate::OptimizationService`]s share one in-memory index per artifact,
+//! exactly as batches already share one index per service (DESIGN.md §6).
+//!
+//! When the artifact carries a prebuilt index section the index is decoded
+//! directly (zero construction work); otherwise it is built once from the
+//! ECC payload and cached all the same
+//! ([`LoadedLibrary::index_was_prebuilt`] records which happened).
+//!
+//! # Examples
+//!
+//! ```
+//! use quartz_gen::{EccSet, Library};
+//! use quartz_opt::{LibraryCache, Optimizer, SearchConfig};
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join("quartz_library_cache_doctest");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("tiny.qtzl");
+//! Library::new("Nam", EccSet::new(2, 0), true).save(&path).unwrap();
+//!
+//! let cache = LibraryCache::new();
+//! let first = cache.get_or_load(&path).unwrap();
+//! let second = cache.get_or_load(&path).unwrap();
+//! // The second request is served from memory: same Arc, no file read.
+//! assert!(Arc::ptr_eq(&first, &second));
+//! assert!(first.index_was_prebuilt());
+//!
+//! let optimizer = Optimizer::from_library(&first, SearchConfig::default());
+//! assert_eq!(optimizer.transformations().len(), 0);
+//! ```
+
+use quartz_gen::TransformationIndex;
+use quartz_gen::{transformations_from_ecc_set, LibraryError, LibraryHeader, LibraryReader};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A library artifact resident in memory: its header and its dispatch
+/// index, shareable across optimizers and services via [`Arc`].
+#[derive(Debug)]
+pub struct LoadedLibrary {
+    path: PathBuf,
+    header: LibraryHeader,
+    index: Arc<TransformationIndex>,
+    index_was_prebuilt: bool,
+    load_time: Duration,
+}
+
+impl LoadedLibrary {
+    /// The path the artifact was loaded from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The artifact header (gate set, `(n, q, m)`, counts, checksum).
+    pub fn header(&self) -> &LibraryHeader {
+        &self.header
+    }
+
+    /// The dispatch index, shared — cloning the `Arc` is the whole cost of
+    /// handing the library to another optimizer or service.
+    pub fn shared_index(&self) -> Arc<TransformationIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// `true` when the index was decoded from the artifact's prebuilt
+    /// section, `false` when it had to be built from the ECC payload.
+    pub fn index_was_prebuilt(&self) -> bool {
+        self.index_was_prebuilt
+    }
+
+    /// Wall-clock time the read + validate + decode took.
+    pub fn load_time(&self) -> Duration {
+        self.load_time
+    }
+}
+
+/// A load-once, share-everywhere cache of library artifacts, keyed by
+/// canonical path. See the module-level docs for an example.
+#[derive(Debug, Default)]
+pub struct LibraryCache {
+    entries: Mutex<HashMap<PathBuf, Arc<LoadedLibrary>>>,
+}
+
+impl LibraryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        LibraryCache::default()
+    }
+
+    /// Returns the library at `path`, reading and validating the artifact on
+    /// the first request and serving every later request from memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and artifact-validation errors
+    /// ([`quartz_gen::LibraryError`]); nothing is cached on failure.
+    pub fn get_or_load(&self, path: impl AsRef<Path>) -> Result<Arc<LoadedLibrary>, LibraryError> {
+        let path = path.as_ref();
+        // Canonicalize so `libraries/x.qtzl` and `./libraries/x.qtzl` share
+        // an entry; fall back to the verbatim path when the file is missing
+        // (the load below will produce the error, with the path in it).
+        let key = std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf());
+        if let Some(entry) = self.lock().get(&key) {
+            return Ok(Arc::clone(entry));
+        }
+        let loaded = Arc::new(Self::load(path, &key)?);
+        // A concurrent load of the same artifact may have won the race;
+        // keep the incumbent so every caller sees one shared index.
+        let mut entries = self.lock();
+        let entry = entries.entry(key).or_insert(loaded);
+        Ok(Arc::clone(entry))
+    }
+
+    /// Number of artifacts resident in the cache.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Returns `true` when no artifact has been loaded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<PathBuf, Arc<LoadedLibrary>>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn load(path: &Path, key: &Path) -> Result<LoadedLibrary, LibraryError> {
+        let start = Instant::now();
+        let bytes = std::fs::read(path)
+            .map_err(|e| LibraryError::Io(quartz_gen::path_io_error(path, e)))?;
+        let reader = LibraryReader::new(&bytes)?;
+        reader.verify_checksum()?;
+        let (index, index_was_prebuilt) = match reader.decode_index()? {
+            Some(index) => (index, true),
+            None => {
+                let set = reader.decode_ecc_set()?;
+                (
+                    TransformationIndex::new(transformations_from_ecc_set(&set, true)),
+                    false,
+                )
+            }
+        };
+        Ok(LoadedLibrary {
+            path: key.to_path_buf(),
+            header: reader.header().clone(),
+            index: Arc::new(index),
+            index_was_prebuilt,
+            load_time: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_gen::{Ecc, EccSet, Library};
+    use quartz_ir::{Circuit, Gate, Instruction};
+
+    fn sample_set() -> EccSet {
+        let mut hh = Circuit::new(2, 0);
+        hh.push(Instruction::new(Gate::H, vec![0], vec![]));
+        hh.push(Instruction::new(Gate::H, vec![0], vec![]));
+        let mut set = EccSet::new(2, 0);
+        set.eccs.push(Ecc::new(vec![hh, Circuit::new(2, 0)]));
+        set
+    }
+
+    fn temp_artifact(name: &str, with_index: bool) -> PathBuf {
+        let dir = std::env::temp_dir().join("quartz_cache_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        Library::new("Nam", sample_set(), with_index)
+            .save(&path)
+            .unwrap();
+        path
+    }
+
+    #[test]
+    fn second_load_is_served_from_memory() {
+        let path = temp_artifact("cached.qtzl", true);
+        let cache = LibraryCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_load(&path).unwrap();
+        let b = cache.get_or_load(&path).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert!(a.index_was_prebuilt());
+        assert_eq!(a.header().gate_set, "Nam");
+        assert_eq!(a.shared_index().len(), 1); // HH → empty
+    }
+
+    #[test]
+    fn artifacts_without_an_index_build_one_on_load() {
+        let path = temp_artifact("no_index.qtzl", false);
+        let cache = LibraryCache::new();
+        let loaded = cache.get_or_load(&path).unwrap();
+        assert!(!loaded.index_was_prebuilt());
+        assert_eq!(loaded.shared_index().len(), 1);
+    }
+
+    #[test]
+    fn load_failures_are_reported_and_not_cached() {
+        let cache = LibraryCache::new();
+        let missing = std::env::temp_dir().join("quartz_cache_tests/definitely_missing.qtzl");
+        let err = cache.get_or_load(&missing).unwrap_err();
+        assert!(err.to_string().contains("definitely_missing.qtzl"));
+        assert!(cache.is_empty());
+
+        // A corrupted artifact is rejected by the checksum.
+        let path = temp_artifact("corrupt.qtzl", true);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            cache.get_or_load(&path),
+            Err(LibraryError::ChecksumMismatch { .. })
+        ));
+        assert!(cache.is_empty());
+    }
+}

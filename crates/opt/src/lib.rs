@@ -21,6 +21,12 @@
 //! frontiers and per-circuit results bit-identical to standalone
 //! [`Optimizer::optimize`] runs.
 //!
+//! Startup is *zero-generation* when a persisted library artifact is
+//! available (DESIGN.md §7): [`LibraryCache`] loads a `QTZL` artifact once —
+//! prebuilt dispatch index included — and [`Optimizer::from_library`] /
+//! [`OptimizationService::from_library`] share it via [`std::sync::Arc`],
+//! turning seconds of ECC generation into a cold file read.
+//!
 //! # Example
 //!
 //! ```
@@ -47,8 +53,8 @@
 #![forbid(unsafe_code)]
 
 mod baseline;
+mod cache;
 mod cost;
-mod index;
 mod matcher;
 mod preprocess;
 mod search;
@@ -56,13 +62,14 @@ mod service;
 mod xform;
 
 pub use baseline::{greedy_optimize, BaselineStats};
+pub use cache::{LibraryCache, LoadedLibrary};
 pub use cost::CostModel;
-pub use index::TransformationIndex;
 pub use matcher::{apply_all, apply_at, find_matches, Match, MatchContext};
 pub use preprocess::{
     cancel_adjacent_inverses, clifford_t_to_nam, decompose_toffolis, merge_rotations, nam_to_ibm,
     nam_to_rigetti, preprocess_ibm, preprocess_nam, preprocess_rigetti, toffoli_decomposition,
 };
+pub use quartz_gen::TransformationIndex;
 pub use search::{Optimizer, SearchConfig, SearchResult};
 pub use service::{OptimizationService, ServiceEvent};
 pub use xform::{canonicalize, transformations_from_ecc_set, Transformation};

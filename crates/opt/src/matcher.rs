@@ -20,7 +20,7 @@
 //! proportional to the rewrite footprint ([`MatchContext::derive`]) — the
 //! incremental path the search layer rides (DESIGN.md §5).
 
-use crate::xform::Transformation;
+use quartz_gen::Transformation;
 use quartz_ir::{Circuit, CircuitDag, Gate, Instruction, NodeId, ParamExpr, SpliceDelta};
 use std::collections::HashSet;
 

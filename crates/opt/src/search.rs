@@ -39,10 +39,11 @@
 //! one instance per circuit, over one shared [`TransformationIndex`] — by the
 //! multi-circuit [`crate::service::OptimizationService`].
 
+use crate::cache::LoadedLibrary;
 use crate::cost::CostModel;
-use crate::index::TransformationIndex;
 use crate::matcher::MatchContext;
 use crate::xform::{canonicalize, Transformation};
+use quartz_gen::TransformationIndex;
 use quartz_ir::{Circuit, SpliceDelta};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -493,7 +494,7 @@ where
 /// ```
 #[derive(Debug, Clone)]
 pub struct Optimizer {
-    index: TransformationIndex,
+    index: Arc<TransformationIndex>,
     config: SearchConfig,
 }
 
@@ -501,10 +502,13 @@ impl Optimizer {
     /// Creates an optimizer from an explicit transformation list, building
     /// the dispatch index over it.
     pub fn new(transformations: Vec<Transformation>, config: SearchConfig) -> Self {
-        Optimizer {
-            index: TransformationIndex::new(transformations),
-            config,
-        }
+        Optimizer::with_index(Arc::new(TransformationIndex::new(transformations)), config)
+    }
+
+    /// Creates an optimizer around an existing (possibly shared) dispatch
+    /// index — no extraction or construction work happens.
+    pub fn with_index(index: Arc<TransformationIndex>, config: SearchConfig) -> Self {
+        Optimizer { index, config }
     }
 
     /// Creates an optimizer from an ECC set, extracting transformations with
@@ -512,6 +516,13 @@ impl Optimizer {
     pub fn from_ecc_set(set: &quartz_gen::EccSet, config: SearchConfig) -> Self {
         let transformations = crate::xform::transformations_from_ecc_set(set, true);
         Optimizer::new(transformations, config)
+    }
+
+    /// Creates an optimizer from a loaded library artifact
+    /// ([`crate::LibraryCache`]), sharing its in-memory index — zero
+    /// generation and zero index construction at startup (DESIGN.md §7).
+    pub fn from_library(library: &LoadedLibrary, config: SearchConfig) -> Self {
+        Optimizer::with_index(library.shared_index(), config)
     }
 
     /// The transformations available to the search.
@@ -522,6 +533,12 @@ impl Optimizer {
     /// The dispatch index over the transformations.
     pub fn index(&self) -> &TransformationIndex {
         &self.index
+    }
+
+    /// The dispatch index as a shareable handle (what
+    /// [`crate::OptimizationService`] clones instead of the index itself).
+    pub fn shared_index(&self) -> Arc<TransformationIndex> {
+        Arc::clone(&self.index)
     }
 
     /// The search configuration.

@@ -33,7 +33,7 @@ use quartz_ir::Circuit;
 use std::time::{Duration, Instant};
 
 #[allow(unused_imports)] // rustdoc links
-use crate::index::TransformationIndex;
+use quartz_gen::TransformationIndex;
 
 /// A streamed per-circuit improvement snapshot (one entry of what will
 /// become the circuit's [`SearchResult::improvement_trace`]).
@@ -92,6 +92,13 @@ impl OptimizationService {
     /// common-subcircuit pruning enabled (paper §5.2).
     pub fn from_ecc_set(set: &quartz_gen::EccSet, config: SearchConfig) -> Self {
         OptimizationService::new(Optimizer::from_ecc_set(set, config))
+    }
+
+    /// Creates a service from a loaded library artifact
+    /// ([`crate::LibraryCache`]), sharing its in-memory dispatch index —
+    /// the zero-generation startup path (DESIGN.md §7).
+    pub fn from_library(library: &crate::LoadedLibrary, config: SearchConfig) -> Self {
+        OptimizationService::new(Optimizer::from_library(library, config))
     }
 
     /// The underlying optimizer (shared index + configuration).

@@ -2,12 +2,13 @@
 //! preprocessing pass must preserve circuit semantics up to a global phase.
 
 use proptest::prelude::*;
-use quartz_gen::{GenConfig, Generator};
+use quartz_gen::{Ecc, EccSet, GenConfig, Generator, Library};
 use quartz_ir::{equivalent_up_to_phase, Circuit, Gate, GateSet, Instruction, ParamExpr};
 use quartz_opt::{
     cancel_adjacent_inverses, canonicalize, greedy_optimize, merge_rotations, preprocess_nam,
     transformations_from_ecc_set, MatchContext, Optimizer, SearchConfig, Transformation,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
 fn arb_clifford_t_instruction(nq: usize) -> impl Strategy<Value = Instruction> {
@@ -149,6 +150,47 @@ proptest! {
         let out = preprocess_nam(&c);
         prop_assert!(GateSet::nam().supports_circuit(&out));
         prop_assert!(equivalent_up_to_phase(&out, &c, &[], 1e-8));
+    }
+
+    /// A prebuilt index that survived the binary artifact round trip must
+    /// drive the search to *bit-identical* results (DESIGN.md §7): same best
+    /// circuit, same trajectory, same counters — for random (not necessarily
+    /// semantically sound) transformation libraries and random inputs.
+    #[test]
+    fn loaded_prebuilt_index_searches_bit_identically(
+        classes in prop::collection::vec(
+            prop::collection::vec(arb_clifford_t_circuit(2, 5), 1..4), 1..5),
+        input in arb_clifford_t_circuit(2, 8),
+    ) {
+        let mut set = EccSet::new(2, 0);
+        for circuits in classes {
+            set.eccs.push(Ecc::new(circuits));
+        }
+        let config = SearchConfig {
+            timeout: Duration::from_secs(60),
+            max_iterations: 6,
+            ..SearchConfig::default()
+        };
+        let fresh = Optimizer::from_ecc_set(&set, config.clone());
+        let bytes = Library::new("Test", set, true).to_bytes();
+        let loaded_index = Library::from_bytes(&bytes).unwrap().into_parts().1.unwrap();
+        let loaded = Optimizer::with_index(Arc::new(loaded_index), config);
+
+        let a = fresh.optimize(&input);
+        let b = loaded.optimize(&input);
+        prop_assert_eq!(a.best_circuit, b.best_circuit);
+        prop_assert_eq!(a.best_cost, b.best_cost);
+        prop_assert_eq!(a.initial_cost, b.initial_cost);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.circuits_seen, b.circuits_seen);
+        prop_assert_eq!(a.match_attempts, b.match_attempts);
+        prop_assert_eq!(a.match_skips, b.match_skips);
+        prop_assert_eq!(a.dedup_hits, b.dedup_hits);
+        prop_assert_eq!(a.ctx_rebuilds, b.ctx_rebuilds);
+        prop_assert_eq!(a.ctx_derives, b.ctx_derives);
+        let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
+        prop_assert_eq!(trace_a, trace_b);
     }
 
     #[test]

@@ -1,32 +1,49 @@
 //! Batch optimization through the `OptimizationService`: many circuits,
-//! one shared transformation index, work-stealing across frontiers, and
+//! one shared transformation index loaded from a committed library
+//! artifact (zero-generation startup), work-stealing across frontiers, and
 //! streamed per-circuit improvement events.
 //!
 //! Run with `cargo run --release --example batch_optimize`.
 
 use quartz::circuits::suite;
 use quartz::ir::Circuit;
-use quartz::opt::{preprocess_nam, OptimizationService, SearchConfig};
+use quartz::opt::{preprocess_nam, LibraryCache, OptimizationService, SearchConfig};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 fn main() {
-    // 1. Learn transformations once; the service shares the resulting index
-    //    across every circuit of every batch.
-    // m = 2 formal parameters so the set includes the symbolic
-    // Rz(p0)·Rz(p1) ≡ Rz(p0+p1) family the Rz-heavy benchmarks need.
-    let (ecc_set, _) = quartz::gen::Generator::new(
-        quartz::ir::GateSet::nam(),
-        quartz::gen::GenConfig::standard(3, 2, 2),
-    )
-    .run();
-    let service = OptimizationService::from_ecc_set(
-        &ecc_set,
-        SearchConfig {
-            timeout: Duration::from_secs(30),
-            max_iterations: 20,
-            ..SearchConfig::default()
-        },
-    );
+    // 1. Bring up the service from the committed NAM (n=3, q=2, m=2)
+    //    artifact: the ECC payload and the prebuilt dispatch index load as
+    //    one cold file read, shared across every circuit of every batch
+    //    (DESIGN.md §7). Fall back to generating the same library when the
+    //    artifact is absent.
+    let config = SearchConfig {
+        timeout: Duration::from_secs(30),
+        max_iterations: 20,
+        ..SearchConfig::default()
+    };
+    let artifact = Path::new(env!("CARGO_MANIFEST_DIR")).join("libraries/nam_n3_q2.qtzl");
+    let cache = LibraryCache::new();
+    let service = match cache.get_or_load(&artifact) {
+        Ok(library) => {
+            println!(
+                "Loaded {} in {:.2?} (prebuilt index: {})",
+                library.path().display(),
+                library.load_time(),
+                library.index_was_prebuilt()
+            );
+            OptimizationService::from_library(&library, config)
+        }
+        Err(e) => {
+            println!("No committed artifact ({e}); generating instead...");
+            let (ecc_set, _) = quartz::gen::Generator::new(
+                quartz::ir::GateSet::nam(),
+                quartz::gen::GenConfig::standard(3, 2, 2),
+            )
+            .run();
+            OptimizationService::from_ecc_set(&ecc_set, config)
+        }
+    };
     println!(
         "Service ready: {} transformations in the shared index",
         service.optimizer().transformations().len()

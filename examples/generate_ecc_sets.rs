@@ -1,10 +1,12 @@
 //! Generate ECC sets for the three gate sets of the paper (Table 1), print
-//! the Table-5-style metrics, and save the sets to JSON files that the
-//! optimizer (or the original Quartz tooling) can load later.
+//! the Table-5-style metrics, and save each set twice: as interchange JSON
+//! (what the original Quartz tooling reads) and as a binary `QTZL` library
+//! artifact with a prebuilt dispatch index (what services load at startup;
+//! DESIGN.md §7) — the in-code equivalent of `quartz-lib generate`.
 //!
 //! Run with `cargo run --release --example generate_ecc_sets [-- <max_n>]`.
 
-use quartz::gen::{prune, GenConfig, Generator};
+use quartz::gen::{prune, GenConfig, Generator, Library};
 use quartz::ir::GateSet;
 
 fn main() {
@@ -38,9 +40,23 @@ fn main() {
                 stats.verification_time.as_secs_f64(),
                 stats.total_time.as_secs_f64()
             );
-            let path = out_dir.join(format!("{}_n{}_q2.json", gate_set.name().to_lowercase(), n));
-            pruned.save(&path).expect("save ECC set");
+            let stem = format!("{}_n{}_q2", gate_set.name().to_lowercase(), n);
+            pruned
+                .save(out_dir.join(format!("{stem}.json")))
+                .expect("save ECC set as JSON");
+            let library = Library::new(gate_set.name(), pruned, true);
+            library
+                .save(out_dir.join(format!("{stem}.qtzl")))
+                .expect("save library artifact");
+            // The artifact round-trips losslessly, prebuilt index included.
+            let back = Library::load(out_dir.join(format!("{stem}.qtzl")))
+                .expect("reload library artifact");
+            assert_eq!(back.ecc_set(), library.ecc_set());
+            assert!(back.index().is_some());
         }
     }
-    println!("\nECC sets written to {}", out_dir.display());
+    println!(
+        "\nECC sets written to {} (.json interchange + .qtzl binary artifacts)",
+        out_dir.display()
+    );
 }

@@ -271,3 +271,69 @@ fn parametric_rotation_merging_happens_through_learned_transformations() {
         3
     );
 }
+
+/// Acceptance for the persisted-library layer (DESIGN.md §7): bringing a
+/// service up from the committed `libraries/nam_n3_q2.qtzl` artifact — ECC
+/// payload plus prebuilt index, zero generation — optimizes the NAM suite
+/// bit-identically to the generate-at-startup path.
+#[test]
+fn committed_artifact_is_bit_identical_to_generate_at_startup() {
+    use quartz::opt::LibraryCache;
+
+    let artifact =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("libraries/nam_n3_q2.qtzl");
+    let cache = LibraryCache::new();
+    let library = cache
+        .get_or_load(&artifact)
+        .expect("committed artifact must load (regenerate with `quartz-lib generate`)");
+    assert!(
+        library.index_was_prebuilt(),
+        "artifact must embed its index"
+    );
+    assert_eq!(library.header().gate_set, "Nam");
+
+    // The exact pipeline the artifact replaces: RepGen (n=3, q=2, m=2) +
+    // pruning + extraction + index construction.
+    let generated_set = nam_ecc_set(3, 2, 2);
+    let config = SearchConfig {
+        timeout: Duration::from_secs(300),
+        max_iterations: 4,
+        ..SearchConfig::default()
+    };
+    let from_artifact = OptimizationService::from_library(&library, config.clone());
+    let from_generation = OptimizationService::from_ecc_set(&generated_set, config);
+    assert_eq!(
+        from_artifact.optimizer().transformations(),
+        from_generation.optimizer().transformations(),
+        "stale artifact: its transformation list diverged from the generator"
+    );
+
+    // A NAM-suite member plus a toy circuit — kept small so the debug-mode
+    // tier-1 run stays fast; the full suite comparison is what the
+    // `service_throughput` bench asserts at release scale.
+    let mut toy = Circuit::new(2, 0);
+    toy.push(Instruction::new(Gate::H, vec![0], vec![]));
+    toy.push(Instruction::new(Gate::H, vec![0], vec![]));
+    toy.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+    let batch = vec![
+        preprocess_nam(&suite::build_clifford_t("tof_3").unwrap()),
+        toy,
+    ];
+    let loaded_results = from_artifact.optimize_batch(&batch);
+    let generated_results = from_generation.optimize_batch(&batch);
+    for (a, b) in loaded_results.iter().zip(&generated_results) {
+        assert_eq!(a.best_circuit, b.best_circuit);
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.initial_cost, b.initial_cost);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.circuits_seen, b.circuits_seen);
+        assert_eq!(a.match_attempts, b.match_attempts);
+        assert_eq!(a.match_skips, b.match_skips);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+        assert_eq!(a.ctx_rebuilds, b.ctx_rebuilds);
+        assert_eq!(a.ctx_derives, b.ctx_derives);
+        let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
+        assert_eq!(trace_a, trace_b);
+    }
+}
