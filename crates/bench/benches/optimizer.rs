@@ -142,12 +142,63 @@ fn bench_incremental_contexts_qft8(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cached vs full re-matching on QFT-8 (DESIGN.md §8): identical search
+/// outcomes, but the cached engine replaces per-dequeue full-circuit match
+/// passes with footprint-pinned micro-runs over the carried match sites.
+fn bench_cached_matches_qft8(c: &mut Criterion) {
+    let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+    let qft = approximate_qft(8);
+    let config = SearchConfig {
+        timeout: Duration::from_secs(120),
+        max_iterations: 8,
+        ..SearchConfig::default()
+    };
+    let cached = Optimizer::from_ecc_set(&ecc_set, config.clone());
+    let uncached = Optimizer::from_ecc_set(
+        &ecc_set,
+        SearchConfig {
+            cached_matches: false,
+            ..config
+        },
+    );
+
+    let hit = cached.optimize(&qft);
+    let miss = uncached.optimize(&qft);
+    println!(
+        "qft_8 match cache: {} full passes + {} scoped micro-runs \
+         ({} cached / {} recomputed sites, {:.1}% hit rate) vs {} full passes; \
+         best cost {} vs {}",
+        hit.match_attempts,
+        hit.scoped_rematches,
+        hit.matches_cached,
+        hit.matches_recomputed,
+        100.0 * hit.cache_hit_rate(),
+        miss.match_attempts,
+        hit.best_cost,
+        miss.best_cost,
+    );
+    assert!(hit.match_attempts * 2 <= miss.match_attempts);
+    assert!(hit.cache_hit_rate() > 0.0);
+    assert_eq!(hit.best_cost, miss.best_cost);
+
+    let mut group = c.benchmark_group("match_cache_qft_8");
+    group.sample_size(10);
+    group.bench_function("cached", |b| {
+        b.iter(|| std::hint::black_box(cached.optimize(&qft).matches_cached))
+    });
+    group.bench_function("full_rematch", |b| {
+        b.iter(|| std::hint::black_box(uncached.optimize(&qft).match_attempts))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_preprocessing,
     bench_greedy_baseline,
     bench_search_iterations,
     bench_dispatch_qft8,
-    bench_incremental_contexts_qft8
+    bench_incremental_contexts_qft8,
+    bench_cached_matches_qft8
 );
 criterion_main!(benches);

@@ -7,16 +7,27 @@
 //!   construction at startup (the historical path);
 //! * *load*: read the committed `libraries/<set>_n<N>_q<Q>.qtzl` artifact —
 //!   ECC payload and prebuilt index — through the `LibraryCache`
-//!   (DESIGN.md §7).
+//!   (DESIGN.md §7);
 //!
-//! Both paths must produce bit-identical per-circuit results (asserted
-//! below), and per-circuit results are also bit-identical across thread
-//! counts (the service's work-stealing merge order is deterministic), so
-//! every column is an apples-to-apples comparison of the same search work.
+//! and the **match-site cache** (DESIGN.md §8): every configuration runs
+//! both with `cached_matches: true` (the default) and `false`, asserting
+//! that the two engines produce bit-identical per-circuit search outcomes
+//! while the cached engine performs at most half the full-circuit pattern
+//! match passes, with a nonzero cache hit rate.
+//!
+//! Search outcomes must be bit-identical across thread counts, startup
+//! paths, *and* engines (asserted below), so every column is an
+//! apples-to-apples comparison of the same search work.
+//!
+//! Results are also written to `BENCH_search.json` (see
+//! `quartz_bench::report`) so CI archives one machine-readable perf
+//! artifact per run and the trajectory is diffable across commits.
 //!
 //! Usage: `cargo run --release -p quartz-bench --bin service_throughput
-//! [-- --scale full --timeout <secs> --n <n> --q <q> --threads <t>]`
+//! [-- --quick | --scale full] [--timeout <secs>] [--n <n>] [--q <q>]
+//! [--threads <t>]`
 
+use quartz_bench::report::{BenchReport, BENCH_SEARCH_FILE};
 use quartz_bench::{build_ecc_set, library_artifact_path, GateSetKind, Scale};
 use quartz_ir::Circuit;
 use quartz_opt::{
@@ -25,45 +36,74 @@ use quartz_opt::{
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// The thread-count-independent fields of a [`SearchResult`] — everything a
-/// determinism regression could disturb except wall-clock durations (the
-/// improvement trace is kept as its cost sequence, timestamps stripped).
+/// The engine-independent fields of a [`SearchResult`] — the search
+/// *outcome*, identical across thread counts, startup paths, and the
+/// cached/uncached engines (the improvement trace is kept as its cost
+/// sequence, timestamps stripped).
 #[derive(Debug, PartialEq)]
-struct RunSummary {
+struct OutcomeSummary {
     best_circuit: Circuit,
     best_cost: usize,
     initial_cost: usize,
     iterations: usize,
     circuits_seen: usize,
-    match_attempts: usize,
-    match_skips: usize,
     dedup_hits: usize,
-    ctx_rebuilds: usize,
-    ctx_derives: usize,
     trace_costs: Vec<usize>,
 }
 
-impl RunSummary {
+/// The matching-effort fields — identical across thread counts and startup
+/// paths *within* one engine, deliberately different between engines (the
+/// difference is the cache's whole point).
+#[derive(Debug, PartialEq)]
+struct EffortSummary {
+    match_attempts: usize,
+    match_skips: usize,
+    ctx_rebuilds: usize,
+    ctx_derives: usize,
+    matches_cached: usize,
+    matches_recomputed: usize,
+    cache_invalidate_nodes: usize,
+    scoped_rematches: usize,
+}
+
+impl OutcomeSummary {
     fn of(result: &SearchResult) -> Self {
-        RunSummary {
+        OutcomeSummary {
             best_circuit: result.best_circuit.clone(),
             best_cost: result.best_cost,
             initial_cost: result.initial_cost,
             iterations: result.iterations,
             circuits_seen: result.circuits_seen,
-            match_attempts: result.match_attempts,
-            match_skips: result.match_skips,
             dedup_hits: result.dedup_hits,
-            ctx_rebuilds: result.ctx_rebuilds,
-            ctx_derives: result.ctx_derives,
             trace_costs: result.improvement_trace.iter().map(|&(_, c)| c).collect(),
         }
     }
 }
 
+impl EffortSummary {
+    fn of(result: &SearchResult) -> Self {
+        EffortSummary {
+            match_attempts: result.match_attempts,
+            match_skips: result.match_skips,
+            ctx_rebuilds: result.ctx_rebuilds,
+            ctx_derives: result.ctx_derives,
+            matches_cached: result.matches_cached,
+            matches_recomputed: result.matches_recomputed,
+            cache_invalidate_nodes: result.cache_invalidate_nodes,
+            scoped_rematches: result.scoped_rematches,
+        }
+    }
+}
+
+fn sum(results: &[SearchResult], field: impl Fn(&SearchResult) -> usize) -> usize {
+    results.iter().map(field).sum()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let kind = GateSetKind::Nam;
+    // `--quick` is the explicit spelling of the default scale (what the CI
+    // bench-smoke job passes); Scale::from_args handles the rest.
     let scale = Scale::from_args(kind, &args);
     let max_threads = args
         .iter()
@@ -75,12 +115,16 @@ fn main() {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         });
+    let mut report = BenchReport::new("service_throughput");
 
     // -- Startup: generate-at-startup vs. load-a-committed-artifact --------
     let generate_start = Instant::now();
     let (ecc_set, _) = build_ecc_set(kind, scale.ecc_n, scale.ecc_q);
     let generated = Optimizer::from_ecc_set(&ecc_set, SearchConfig::default()).shared_index();
     let generate_startup = generate_start.elapsed();
+    report
+        .suite("startup")
+        .metric("generate_secs", generate_startup.as_secs_f64());
 
     let artifact = library_artifact_path(kind, scale.ecc_n, scale.ecc_q);
     let loaded: Option<Arc<LoadedLibrary>> = match LibraryCache::new().get_or_load(&artifact) {
@@ -118,6 +162,10 @@ fn main() {
             "{:>10} {:>11.1}x   faster startup from the artifact",
             "", speedup
         );
+        report
+            .suite("startup")
+            .metric("load_secs", load_startup.as_secs_f64())
+            .metric("load_speedup", speedup);
         assert!(
             load_startup.saturating_mul(10) <= generate_startup,
             "artifact load ({load_startup:?}) should be at least 10x faster than \
@@ -147,7 +195,7 @@ fn main() {
         scale.max_iterations
     );
 
-    let config = |threads: usize| -> SearchConfig {
+    let config = |threads: usize, cached: bool| -> SearchConfig {
         // The iteration budget must be the binding constraint: runs cut off
         // by the wall clock are legitimately thread-count-dependent, which
         // would void the bit-identicality assertion below. Leave the timeout
@@ -156,14 +204,18 @@ fn main() {
             timeout: scale.search_timeout.saturating_mul(10 * batch.len() as u32),
             max_iterations: scale.max_iterations,
             num_threads: threads,
+            cached_matches: cached,
             ..SearchConfig::default()
         }
     };
     let run = |index: &Arc<quartz_opt::TransformationIndex>,
-               threads: usize|
+               threads: usize,
+               cached: bool|
      -> (Duration, Vec<SearchResult>) {
-        let service =
-            OptimizationService::new(Optimizer::with_index(Arc::clone(index), config(threads)));
+        let service = OptimizationService::new(Optimizer::with_index(
+            Arc::clone(index),
+            config(threads, cached),
+        ));
         let start = Instant::now();
         let results = service.optimize_batch(&batch);
         (start.elapsed(), results)
@@ -175,11 +227,23 @@ fn main() {
         vec![1]
     };
     println!(
-        "{:>8} {:>10} {:>12} {:>14} {:>12} {:>10}",
-        "Threads", "Index", "Elapsed", "Circuits/sec", "Total gates", "Speedup"
+        "{:>8} {:>10} {:>9} {:>12} {:>14} {:>10} {:>10} {:>8} {:>10}",
+        "Threads",
+        "Index",
+        "Engine",
+        "Elapsed",
+        "Circuits/sec",
+        "Attempts",
+        "HitRate",
+        "Gates",
+        "Speedup"
     );
     let mut baseline_secs = 0.0;
-    let mut baseline: Option<Vec<RunSummary>> = None;
+    let mut outcome_baseline: Option<Vec<OutcomeSummary>> = None;
+    let mut effort_baselines: [Option<Vec<EffortSummary>>; 2] = [None, None];
+    let mut engine_secs: [Option<f64>; 2] = [None, None];
+    let mut engine_attempts: [Option<usize>; 2] = [None, None];
+    let mut engine_hit_rate: [Option<f64>; 2] = [None, None];
     for &threads in &thread_counts {
         let mut indexes: Vec<(&str, Arc<quartz_opt::TransformationIndex>)> =
             vec![("generated", Arc::clone(&generated))];
@@ -187,33 +251,113 @@ fn main() {
             indexes.push(("loaded", library.shared_index()));
         }
         for (label, index) in indexes {
-            let (elapsed, results) = run(&index, threads);
-            let secs = elapsed.as_secs_f64();
-            let total: usize = results.iter().map(|r| r.best_cost).sum();
-            // Bit-identical across thread counts *and* across the two
-            // startup paths: not just the best cost but the whole trajectory
-            // (iterations, states seen, match attempts).
-            let summary: Vec<RunSummary> = results.iter().map(RunSummary::of).collect();
-            match &baseline {
-                None => {
-                    baseline_secs = secs;
-                    baseline = Some(summary);
+            for (engine_id, (engine, cached)) in
+                [("cached", true), ("uncached", false)].iter().enumerate()
+            {
+                let (elapsed, results) = run(&index, threads, *cached);
+                let secs = elapsed.as_secs_f64();
+                let total: usize = results.iter().map(|r| r.best_cost).sum();
+                let attempts = sum(&results, |r| r.match_attempts);
+                let cached_total = sum(&results, |r| r.matches_cached);
+                let recomputed_total = sum(&results, |r| r.matches_recomputed);
+                let hit_rate = if cached_total + recomputed_total == 0 {
+                    0.0
+                } else {
+                    cached_total as f64 / (cached_total + recomputed_total) as f64
+                };
+
+                // Outcomes are bit-identical across thread counts, startup
+                // paths, and engines; matching effort is identical across
+                // thread counts and startup paths *within* an engine.
+                let outcome: Vec<OutcomeSummary> = results.iter().map(OutcomeSummary::of).collect();
+                match &outcome_baseline {
+                    None => {
+                        baseline_secs = secs;
+                        outcome_baseline = Some(outcome);
+                    }
+                    Some(expected) => assert_eq!(
+                        expected, &outcome,
+                        "search outcomes must be identical across thread counts, \
+                         startup paths, and the cached/uncached engines"
+                    ),
                 }
-                Some(expected) => assert_eq!(
-                    expected, &summary,
-                    "per-circuit results must be identical across thread counts and \
-                     across the generate/load startup paths"
-                ),
+                let effort: Vec<EffortSummary> = results.iter().map(EffortSummary::of).collect();
+                match &effort_baselines[engine_id] {
+                    None => effort_baselines[engine_id] = Some(effort),
+                    Some(expected) => assert_eq!(
+                        expected, &effort,
+                        "{engine}: matching effort must be identical across thread \
+                         counts and startup paths"
+                    ),
+                }
+                if engine_secs[engine_id].is_none() {
+                    engine_secs[engine_id] = Some(secs);
+                    engine_attempts[engine_id] = Some(attempts);
+                    engine_hit_rate[engine_id] = Some(hit_rate);
+                }
+
+                println!(
+                    "{:>8} {:>10} {:>9} {:>12.2?} {:>14.2} {:>10} {:>9.1}% {:>8} {:>9.2}x",
+                    threads,
+                    label,
+                    engine,
+                    elapsed,
+                    batch.len() as f64 / secs,
+                    attempts,
+                    100.0 * hit_rate,
+                    total,
+                    baseline_secs / secs
+                );
+                report
+                    .suite(&format!("throughput/t{threads}/{label}/{engine}"))
+                    .metric("threads", threads as f64)
+                    .metric("wall_secs", secs)
+                    .metric("circuits_per_sec", batch.len() as f64 / secs)
+                    .metric("match_attempts", attempts as f64)
+                    .metric(
+                        "scoped_rematches",
+                        sum(&results, |r| r.scoped_rematches) as f64,
+                    )
+                    .metric("matches_cached", cached_total as f64)
+                    .metric("matches_recomputed", recomputed_total as f64)
+                    .metric("cache_hit_rate", hit_rate)
+                    .metric("total_best_cost", total as f64);
             }
-            println!(
-                "{:>8} {:>10} {:>12.2?} {:>14.2} {:>12} {:>9.2}x",
-                threads,
-                label,
-                elapsed,
-                batch.len() as f64 / secs,
-                total,
-                baseline_secs / secs
-            );
         }
+    }
+
+    // Acceptance (ISSUE 5): the cached engine must attempt at most half the
+    // full-circuit pattern matches with a nonzero hit rate, for identical
+    // results; the wall-time ratio is recorded in the artifact.
+    let cached_attempts = engine_attempts[0].expect("cached engine ran");
+    let uncached_attempts = engine_attempts[1].expect("uncached engine ran");
+    let hit_rate = engine_hit_rate[0].expect("cached engine ran");
+    assert!(
+        cached_attempts * 2 <= uncached_attempts,
+        "match-site cache must at least halve full match passes over the suite: \
+         cached {cached_attempts} vs uncached {uncached_attempts}"
+    );
+    assert!(hit_rate > 0.0, "cache hit rate must be nonzero");
+    let match_speedup = engine_secs[1].unwrap_or(0.0) / engine_secs[0].unwrap_or(1.0).max(1e-9);
+    report
+        .suite("cache_acceptance")
+        .metric("cached_match_attempts", cached_attempts as f64)
+        .metric("uncached_match_attempts", uncached_attempts as f64)
+        .metric(
+            "attempts_reduction",
+            uncached_attempts as f64 / (cached_attempts as f64).max(1.0),
+        )
+        .metric("cache_hit_rate", hit_rate)
+        .metric("wall_time_speedup_1thread", match_speedup);
+    println!(
+        "\nMatch-site cache: {cached_attempts} vs {uncached_attempts} full match passes \
+         ({:.1}x fewer), {:.1}% hit rate, {match_speedup:.2}x wall-time speedup at 1 thread",
+        uncached_attempts as f64 / (cached_attempts as f64).max(1.0),
+        100.0 * hit_rate,
+    );
+
+    match report.write(BENCH_SEARCH_FILE) {
+        Ok(()) => println!("Wrote {BENCH_SEARCH_FILE} ({} suites)", report.len()),
+        Err(e) => println!("warning: could not write {BENCH_SEARCH_FILE}: {e}"),
     }
 }

@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use quartz_circuits::suite;
 use quartz_gen::{prune, EccSet, GenConfig, GenStats, Generator};
 use quartz_ir::{Circuit, GateSet};
@@ -523,6 +525,10 @@ mod tests {
             dedup_hits: 0,
             ctx_rebuilds: 0,
             ctx_derives: 0,
+            matches_cached: 0,
+            matches_recomputed: 0,
+            cache_invalidate_nodes: 0,
+            scoped_rematches: 0,
         };
         let rows = vec![CircuitRow {
             name: "x",
@@ -584,7 +590,9 @@ mod tests {
     /// Acceptance check for the incremental-context layer on QFT-8: the
     /// incremental engine rebuilds a context only at the frontier root,
     /// derives everywhere else, and is bit-identical to the engine that
-    /// rebuilds every context from the sequence form.
+    /// rebuilds every context from the sequence form. Match caching is off
+    /// on both sides so even `match_attempts` must agree exactly (the
+    /// cached engine's attempt reduction is asserted separately).
     #[test]
     fn incremental_contexts_on_qft8_derive_everywhere_but_the_root() {
         let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
@@ -592,6 +600,7 @@ mod tests {
         let config = SearchConfig {
             timeout: Duration::from_secs(120),
             max_iterations: 8,
+            cached_matches: false,
             ..SearchConfig::default()
         };
         let incremental = Optimizer::from_ecc_set(&ecc_set, config.clone()).optimize(&qft);
@@ -621,6 +630,94 @@ mod tests {
         assert_eq!(incremental.circuits_seen, rebuilt.circuits_seen);
         assert_eq!(incremental.match_attempts, rebuilt.match_attempts);
         assert_eq!(incremental.dedup_hits, rebuilt.dedup_hits);
+    }
+
+    /// Acceptance check for the match-site cache on QFT-8 (ISSUE 5): with
+    /// `cached_matches: true` (the default) the search must attempt at most
+    /// half the pattern matches of the full-re-match engine while producing
+    /// a bit-identical search outcome and a nonzero cache hit rate.
+    #[test]
+    fn cached_matches_on_qft8_halve_match_attempts() {
+        let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+        let qft = quartz_circuits::approximate_qft(8);
+        let config = SearchConfig {
+            timeout: Duration::from_secs(120),
+            max_iterations: 8,
+            ..SearchConfig::default()
+        };
+        assert!(config.cached_matches);
+        let cached = Optimizer::from_ecc_set(&ecc_set, config.clone()).optimize(&qft);
+        let uncached = Optimizer::from_ecc_set(
+            &ecc_set,
+            SearchConfig {
+                cached_matches: false,
+                ..config
+            },
+        )
+        .optimize(&qft);
+
+        // Bit-identical search outcome.
+        assert_eq!(cached.best_circuit, uncached.best_circuit);
+        assert_eq!(cached.best_cost, uncached.best_cost);
+        assert_eq!(cached.iterations, uncached.iterations);
+        assert_eq!(cached.circuits_seen, uncached.circuits_seen);
+        assert_eq!(cached.dedup_hits, uncached.dedup_hits);
+        assert_eq!(cached.match_skips, uncached.match_skips);
+        let cached_trace: Vec<usize> = cached.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let uncached_trace: Vec<usize> =
+            uncached.improvement_trace.iter().map(|&(_, c)| c).collect();
+        assert_eq!(cached_trace, uncached_trace);
+
+        // ≥ 2× fewer matcher runs, served from the carried cache instead.
+        assert!(
+            cached.match_attempts * 2 <= uncached.match_attempts,
+            "expected at least a 2x match_attempts reduction on QFT-8: \
+             cached {} vs uncached {}",
+            cached.match_attempts,
+            uncached.match_attempts
+        );
+        assert!(cached.matches_cached > 0);
+        assert!(cached.cache_hit_rate() > 0.0);
+        assert!(cached.cache_invalidate_nodes > 0);
+    }
+
+    /// The same acceptance on the preprocessed NAM quick-suite members: the
+    /// cached engine is outcome-identical and attempts at most half the
+    /// pattern matches, on every suite circuit.
+    #[test]
+    fn cached_matches_halve_match_attempts_on_nam_suite() {
+        let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+        let config = SearchConfig {
+            timeout: Duration::from_secs(300),
+            max_iterations: 10,
+            ..SearchConfig::default()
+        };
+        let cached_opt = Optimizer::from_ecc_set(&ecc_set, config.clone());
+        let uncached_opt = Optimizer::from_ecc_set(
+            &ecc_set,
+            SearchConfig {
+                cached_matches: false,
+                ..config
+            },
+        );
+        for name in ["tof_3", "mod5_4"] {
+            let circuit = preprocess_nam(&suite::build_clifford_t(name).expect("known benchmark"));
+            let cached = cached_opt.optimize(&circuit);
+            let uncached = uncached_opt.optimize(&circuit);
+            assert_eq!(cached.best_circuit, uncached.best_circuit, "{name}");
+            assert_eq!(cached.best_cost, uncached.best_cost, "{name}");
+            assert_eq!(cached.iterations, uncached.iterations, "{name}");
+            assert_eq!(cached.circuits_seen, uncached.circuits_seen, "{name}");
+            assert_eq!(cached.dedup_hits, uncached.dedup_hits, "{name}");
+            assert!(
+                cached.match_attempts * 2 <= uncached.match_attempts,
+                "{name}: expected at least a 2x match_attempts reduction, \
+                 got cached {} vs uncached {}",
+                cached.match_attempts,
+                uncached.match_attempts
+            );
+            assert!(cached.cache_hit_rate() > 0.0, "{name}");
+        }
     }
 
     /// Determinism of the batched parallel engine: on the NAM (2,2) suite,

@@ -1,0 +1,229 @@
+//! Machine-readable benchmark reports (`BENCH_search.json`).
+//!
+//! The perf trajectory of the search engine is tracked from PR 5 onward:
+//! every bench driver that measures the hot path emits a small JSON file —
+//! `BENCH_search.json` by convention — so CI can archive one artifact per
+//! run and regressions show up as diffs between artifacts rather than as
+//! anecdotes in log output.
+//!
+//! The workspace builds offline (no `serde_json`), and a report is a flat
+//! two-level structure — named suites of named numeric metrics — so the
+//! writer is a direct, dependency-free encoder. Keys keep insertion order;
+//! values are JSON numbers (non-finite values are encoded as `null` rather
+//! than producing invalid JSON).
+//!
+//! ```
+//! use quartz_bench::report::BenchReport;
+//!
+//! let mut report = BenchReport::new("service_throughput");
+//! report
+//!     .suite("startup")
+//!     .metric("generate_secs", 1.25)
+//!     .metric("load_secs", 0.004);
+//! let json = report.to_json();
+//! assert!(json.contains("\"generate_secs\": 1.25"));
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Conventional file name for the search-engine perf artifact.
+pub const BENCH_SEARCH_FILE: &str = "BENCH_search.json";
+
+/// One named group of metrics (a benchmark configuration, a table row, a
+/// phase — whatever the driver measures as a unit).
+#[derive(Debug, Clone, Default)]
+pub struct BenchSuite {
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchSuite {
+    /// Records a metric, keeping insertion order; re-recording a key
+    /// overwrites its value in place.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        match self.metrics.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.metrics.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// The recorded value of `key`, if any.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// A benchmark report: which driver produced it, and its metric suites.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    source: String,
+    suites: Vec<(String, BenchSuite)>,
+}
+
+impl BenchReport {
+    /// Creates an empty report attributed to `source` (the driver name).
+    pub fn new(source: &str) -> Self {
+        BenchReport {
+            source: source.to_string(),
+            suites: Vec::new(),
+        }
+    }
+
+    /// The suite named `name`, created empty on first access.
+    pub fn suite(&mut self, name: &str) -> &mut BenchSuite {
+        if let Some(pos) = self.suites.iter().position(|(n, _)| n == name) {
+            return &mut self.suites[pos].1;
+        }
+        self.suites.push((name.to_string(), BenchSuite::default()));
+        &mut self.suites.last_mut().expect("just pushed").1
+    }
+
+    /// Number of suites recorded so far.
+    pub fn len(&self) -> usize {
+        self.suites.len()
+    }
+
+    /// Returns `true` when no suite has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.suites.is_empty()
+    }
+
+    /// Encodes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"source\": {},", json_string(&self.source));
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str("  \"suites\": {");
+        for (i, (name, suite)) in self.suites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {{", json_string(name));
+            for (j, (key, value)) in suite.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n      {}: {}", json_string(key), json_number(*value));
+            }
+            if !suite.metrics.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push('}');
+        }
+        if !self.suites.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Writes the JSON encoding to `path`, replacing any previous report.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("writing bench report {}: {e}", path.display()),
+            )
+        })
+    }
+}
+
+/// Encodes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Encodes a number as a JSON value (`null` for non-finite inputs — JSON
+/// has no NaN/Infinity).
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // Integral values print without a fraction; `{}` on f64 is the shortest
+    // round-trippable form otherwise.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_encodes_suites_in_insertion_order() {
+        let mut report = BenchReport::new("unit-test");
+        report
+            .suite("throughput")
+            .metric("circuits_per_sec", 12.5)
+            .metric("threads", 4.0);
+        report.suite("startup").metric("generate_secs", 0.75);
+        assert_eq!(report.len(), 2);
+        let json = report.to_json();
+        assert!(json.contains("\"source\": \"unit-test\""));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"circuits_per_sec\": 12.5"));
+        assert!(json.contains("\"threads\": 4"));
+        let throughput = json.find("\"throughput\"").unwrap();
+        let startup = json.find("\"startup\"").unwrap();
+        assert!(throughput < startup, "insertion order must be preserved");
+    }
+
+    #[test]
+    fn metrics_overwrite_in_place_and_read_back() {
+        let mut report = BenchReport::new("x");
+        report.suite("s").metric("k", 1.0).metric("k", 2.0);
+        assert_eq!(report.suite("s").get("k"), Some(2.0));
+        assert_eq!(report.suite("s").metrics.len(), 1);
+    }
+
+    #[test]
+    fn strings_are_escaped_and_nonfinite_numbers_become_null() {
+        let mut report = BenchReport::new("quo\"te\n");
+        report.suite("s").metric("nan", f64::NAN);
+        let json = report.to_json();
+        assert!(json.contains("\"quo\\\"te\\n\""));
+        assert!(json.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let report = BenchReport::new("none");
+        assert!(report.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"suites\": {}"));
+    }
+
+    #[test]
+    fn write_creates_the_file() {
+        let mut report = BenchReport::new("writer");
+        report.suite("s").metric("v", 3.25);
+        let path = std::env::temp_dir().join("quartz_bench_report_test.json");
+        report.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, report.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,51 +1,146 @@
-//! Indexed transformation dispatch (DESIGN.md §2.2).
+//! Indexed transformation dispatch (DESIGN.md §2.2, §8.2).
 //!
 //! The search dequeues a circuit and must decide which transformations to
 //! attempt. The naive approach — run the pattern matcher for *every*
 //! transformation — wastes most of its time on patterns that cannot possibly
-//! match. [`TransformationIndex`] prunes that set with two cheap filters
-//! before any matching happens:
+//! match. [`TransformationIndex`] prunes that set with cheap filters before
+//! any matching happens:
 //!
-//! 1. **Anchor buckets.** Every transformation is bucketed under one *anchor*
-//!    gate type chosen from its target pattern (the globally rarest pattern
-//!    gate, for selectivity). A bucket is consulted only when the dequeued
-//!    circuit contains the anchor gate at all.
-//! 2. **Histogram subsumption.** A pattern can only match a circuit when its
+//! 1. **Per-circuit re-anchoring.** Every transformation is reachable
+//!    through a bucket for each gate type its target pattern uses. Candidate
+//!    selection walks the circuit's present gate types *rarest first* (by
+//!    this circuit's histogram, not a global frequency), so every
+//!    transformation is examined exactly once — through the pattern gate
+//!    that is most selective *for this circuit* — and a single count
+//!    comparison on that gate rejects most of them before the full
+//!    histogram check. Transformations none of whose pattern gates occur in
+//!    the circuit are never touched at all.
+//! 2. **Qubit-span filter.** A pattern using more distinct qubits than the
+//!    circuit has wires cannot match; one integer comparison.
+//! 3. **Histogram subsumption.** A pattern can only match a circuit when its
 //!    gate-type multiset is a subset of the circuit's
 //!    ([`quartz_ir::GateHistogram::is_subset_of`]). Candidates surviving the
-//!    bucket lookup are checked against the circuit's incrementally-maintained
-//!    histogram in O([`Gate::COUNT`]).
+//!    cheaper filters are checked against the circuit's
+//!    incrementally-maintained histogram in O([`Gate::COUNT`]).
 //!
-//! Both filters are *sound*: a skipped transformation is guaranteed to have
+//! All filters are *sound*: a skipped transformation is guaranteed to have
 //! zero matches, so the surviving candidate list — returned in original
 //! transformation order — produces exactly the same rewrites as the full
 //! linear scan, and the search explores an identical state space.
+//!
+//! For the optimizer's match-site cache (DESIGN.md §8) the index also
+//! answers the *dirty dispatch* query
+//! ([`TransformationIndex::dirty_candidates_into`]): given the local
+//! evidence a splice left behind — the inserted nodes' gate types and the
+//! wire adjacencies it created — which transformations could possibly have
+//! gained a match? Patterns are looked up by the ordered (predecessor,
+//! successor) gate-type pairs on their wires, so a rewrite dispatches only
+//! the handful of patterns that can actually straddle its footprint.
+//!
+//! The hot loop reuses an [`IndexScratch`] (an epoch-stamped visited set)
+//! across dequeues so candidate selection allocates nothing in steady state.
 //!
 //! The index lives in `quartz-gen` (next to the ECC sets it is derived from)
 //! so that persisted library artifacts ([`crate::library`], DESIGN.md §7)
 //! can embed a *prebuilt* index section and services can skip both
 //! generation and index construction at startup; the optimizer crate
-//! re-exports it.
+//! re-exports it. The serialized form (per-pattern histograms + global
+//! anchor buckets) is unchanged since format version 1: the per-circuit
+//! metadata below is cheap and recomputed at load time.
 
 use crate::xform::Transformation;
-use quartz_ir::{Gate, GateHistogram};
+use quartz_ir::{Gate, GateHistogram, ALL_GATES};
 
 /// Per-pattern metadata precomputed at index construction.
 #[derive(Debug, Clone)]
 struct PatternMeta {
     /// Gate-type multiset of the target pattern.
     histogram: GateHistogram,
+    /// Number of distinct qubits the pattern touches.
+    qubit_span: u32,
+    /// `true` when every pattern instruction after the first shares a wire
+    /// with an earlier one — i.e. any match is a wire-connected subcircuit.
+    /// Multi-gate connected patterns are dirty-dispatched purely by
+    /// adjacency pairs; disconnected ones also answer to the inserted
+    /// gate-type lookup (a lone component can bind an inserted node with no
+    /// pattern-internal adjacency involved).
+    connected: bool,
+}
+
+/// An ordered pair of gate types that are directly wire-adjacent somewhere
+/// in a target pattern (predecessor type, successor type).
+type GatePair = (u8, u8);
+
+fn gate_pair(pred: Gate, succ: Gate) -> GatePair {
+    (pred.index() as u8, succ.index() as u8)
+}
+
+/// Reusable scratch state for [`TransformationIndex::candidates_into`] /
+/// [`TransformationIndex::dirty_candidates_into`]: an epoch-stamped visited
+/// set plus a sort buffer, so the per-dequeue hot path allocates nothing
+/// once warm. One scratch per thread; any scratch works with any index of
+/// the same size (the visited stamps reset logically on every call).
+#[derive(Debug, Default)]
+pub struct IndexScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    /// (circuit count, gate) pairs, sorted ascending — the per-circuit
+    /// rarity order of the present gate types.
+    rarity: Vec<(u32, Gate)>,
+}
+
+impl IndexScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        IndexScratch::default()
+    }
+
+    /// Starts a new visit epoch over `n` transformation ids.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: clear stale stamps that might collide with epoch 0.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `id` visited; returns `true` on first visit this epoch.
+    fn visit(&mut self, id: usize) -> bool {
+        if self.stamp[id] == self.epoch {
+            false
+        } else {
+            self.stamp[id] = self.epoch;
+            true
+        }
+    }
 }
 
 /// An index over a transformation library, grouping transformations by
-/// anchor gate type and pattern gate-type multiset.
+/// pattern gate type and pattern gate-type multiset.
 #[derive(Debug, Clone)]
 pub struct TransformationIndex {
     transformations: Vec<Transformation>,
     metas: Vec<PatternMeta>,
-    /// Transformation ids bucketed by anchor gate index; each id appears in
-    /// exactly one bucket.
+    /// Transformation ids bucketed by *global* anchor gate index; each id
+    /// appears in exactly one bucket. This is the assignment persisted in
+    /// library artifacts (format version 1); dispatch itself re-anchors per
+    /// circuit through `gate_buckets`.
     buckets: Vec<Vec<usize>>,
+    /// Transformation ids bucketed by every gate type their pattern uses
+    /// (multi-membership), each bucket ascending. Derived, never serialized.
+    gate_buckets: Vec<Vec<usize>>,
+    /// Transformation ids bucketed by every (predecessor, successor) gate
+    /// type pair that is directly wire-adjacent in their pattern, each
+    /// bucket ascending. The dirty-dispatch key for rewrites that bridge
+    /// two old nodes together. Derived, never serialized.
+    pair_buckets: std::collections::HashMap<GatePair, Vec<usize>>,
+    /// Largest target-pattern gate count — an upper bound on how far (in
+    /// wire hops) any match can extend from a node it binds.
+    max_pattern_len: usize,
 }
 
 impl TransformationIndex {
@@ -62,10 +157,8 @@ impl TransformationIndex {
                 global_counts[instr.gate.index()] += 1;
             }
         }
-        let mut metas = Vec::with_capacity(transformations.len());
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); Gate::COUNT];
         for (id, xform) in transformations.iter().enumerate() {
-            let histogram = *xform.target.gate_histogram();
             let anchor = xform
                 .target
                 .instructions()
@@ -74,12 +167,71 @@ impl TransformationIndex {
                 .min_by_key(|g| (global_counts[g.index()], g.index()))
                 .unwrap_or(Gate::H);
             buckets[anchor.index()].push(id);
-            metas.push(PatternMeta { histogram });
+        }
+        TransformationIndex::assemble(transformations, buckets)
+    }
+
+    /// Computes the derived per-pattern metadata and gate buckets shared by
+    /// every constructor (fresh build and artifact load alike).
+    fn assemble(transformations: Vec<Transformation>, buckets: Vec<Vec<usize>>) -> Self {
+        let mut metas = Vec::with_capacity(transformations.len());
+        let mut gate_buckets: Vec<Vec<usize>> = vec![Vec::new(); Gate::COUNT];
+        let mut pair_buckets: std::collections::HashMap<GatePair, Vec<usize>> =
+            std::collections::HashMap::new();
+        let mut max_pattern_len = 0usize;
+        for (id, xform) in transformations.iter().enumerate() {
+            let target = &xform.target;
+            let histogram = *target.gate_histogram();
+            let mut gate_mask = 0u32;
+            let mut qubits_used: Vec<usize> = Vec::new();
+            for instr in target.instructions() {
+                gate_mask |= 1 << instr.gate.index();
+                for &q in &instr.qubits {
+                    if !qubits_used.contains(&q) {
+                        qubits_used.push(q);
+                    }
+                }
+            }
+            let preds = target.wire_predecessors();
+            let connected = preds
+                .iter()
+                .enumerate()
+                .skip(1)
+                .all(|(_, ps)| ps.iter().any(|p| p.is_some()));
+            let mut pairs: Vec<GatePair> = Vec::new();
+            for (j, ops) in preds.iter().enumerate() {
+                for i in ops.iter().flatten() {
+                    let pair = gate_pair(
+                        target.instructions()[*i].gate,
+                        target.instructions()[j].gate,
+                    );
+                    if !pairs.contains(&pair) {
+                        pairs.push(pair);
+                    }
+                }
+            }
+            for pair in pairs {
+                pair_buckets.entry(pair).or_default().push(id);
+            }
+            for gate in ALL_GATES {
+                if gate_mask & (1 << gate.index()) != 0 {
+                    gate_buckets[gate.index()].push(id);
+                }
+            }
+            max_pattern_len = max_pattern_len.max(target.gate_count());
+            metas.push(PatternMeta {
+                histogram,
+                qubit_span: qubits_used.len() as u32,
+                connected,
+            });
         }
         TransformationIndex {
             transformations,
             metas,
             buckets,
+            gate_buckets,
+            pair_buckets,
+            max_pattern_len,
         }
     }
 
@@ -141,14 +293,7 @@ impl TransformationIndex {
                 "transformation {missing} is missing from every anchor bucket"
             ));
         }
-        Ok(TransformationIndex {
-            transformations,
-            metas: histograms
-                .into_iter()
-                .map(|histogram| PatternMeta { histogram })
-                .collect(),
-            buckets,
-        })
+        Ok(TransformationIndex::assemble(transformations, buckets))
     }
 
     /// The indexed transformations, in their original order.
@@ -179,21 +324,158 @@ impl TransformationIndex {
         self.transformations.is_empty()
     }
 
+    /// Largest target-pattern gate count in the index. Any match of a
+    /// *connected* pattern lies within `max_pattern_len() - 1` undirected
+    /// wire hops ([`quartz_ir::CircuitDag::neighborhood`]) of each of its
+    /// own nodes. Introspection only — dirty dispatch pins exact nodes
+    /// rather than bounding a search radius (DESIGN.md §8.2).
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_pattern_len
+    }
+
+    /// Whether the target pattern of transformation `id` is wire-connected
+    /// (every instruction after the first shares a wire with an earlier
+    /// one). Matches of connected patterns are wire-connected subcircuits.
+    pub fn pattern_connected(&self, id: usize) -> bool {
+        self.metas[id].connected
+    }
+
     /// Ids of the transformations that can possibly match a circuit with the
     /// given gate histogram, in ascending (original) order — so dispatching
     /// through the index visits the same transformations in the same order as
     /// the linear scan, minus the provably-futile ones.
+    ///
+    /// Convenience wrapper over [`TransformationIndex::candidates_into`]
+    /// with a throwaway scratch and no qubit bound; the optimizer's hot loop
+    /// uses the scratch variant directly.
     pub fn candidates_for(&self, circuit_histogram: &GateHistogram) -> Vec<usize> {
         let mut ids = Vec::new();
+        self.candidates_into(
+            circuit_histogram,
+            usize::MAX,
+            &mut IndexScratch::new(),
+            &mut ids,
+        );
+        ids
+    }
+
+    /// Fills `out` with the ids of every transformation that can possibly
+    /// match a circuit with the given gate histogram over `num_qubits`
+    /// wires, ascending. Alloc-free once `scratch`/`out` are warm.
+    ///
+    /// Present gate types are walked rarest-in-this-circuit first, so each
+    /// transformation is examined exactly once, through its most selective
+    /// pattern gate *for this circuit* (the per-circuit re-anchoring pass of
+    /// DESIGN.md §8.2), and a single count comparison on that gate rejects
+    /// most non-candidates before the full histogram subsumption check.
+    pub fn candidates_into(
+        &self,
+        circuit_histogram: &GateHistogram,
+        num_qubits: usize,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        scratch.begin(self.transformations.len());
+        scratch.rarity.clear();
         for gate in circuit_histogram.present_gates() {
-            for &id in &self.buckets[gate.index()] {
-                if self.metas[id].histogram.is_subset_of(circuit_histogram) {
-                    ids.push(id);
+            scratch
+                .rarity
+                .push((circuit_histogram.count(gate) as u32, gate));
+        }
+        scratch
+            .rarity
+            .sort_unstable_by_key(|&(n, g)| (n, g.index()));
+        let rarity = std::mem::take(&mut scratch.rarity);
+        for &(count, gate) in &rarity {
+            for &id in &self.gate_buckets[gate.index()] {
+                if !scratch.visit(id) {
+                    continue;
+                }
+                let meta = &self.metas[id];
+                // `gate` is this pattern's rarest present gate type, so the
+                // single-count check is the most selective one available.
+                if meta.qubit_span as usize <= num_qubits
+                    && meta.histogram.count(gate) <= count as usize
+                    && meta.histogram.is_subset_of(circuit_histogram)
+                {
+                    out.push(id);
                 }
             }
         }
-        ids.sort_unstable();
-        ids
+        scratch.rarity = rarity;
+        out.sort_unstable();
+    }
+
+    /// Fills `out` with the ids of every transformation that could have
+    /// *gained* a structural match from a splice, given the local evidence
+    /// the splice left behind: `inserted_mask` (a bitmask over
+    /// [`ALL_GATES`] indices of the inserted nodes' gate types) and
+    /// `dirty_pairs` — every ordered (predecessor, successor) gate-type
+    /// pair that is wire-adjacent *at* an inserted node in the spliced
+    /// circuit, plus the pairs of boundary nodes the splice bridged into
+    /// direct adjacency. Ascending; always a subset of
+    /// [`TransformationIndex::candidates_into`].
+    ///
+    /// Soundness (the dirty-dispatch argument of DESIGN.md §8.2): a
+    /// structural match that is new after a splice either
+    ///
+    /// * binds an inserted node `i` — then for a single-gate pattern its
+    ///   gate type is `i`'s (the `inserted_mask` lookup); for a
+    ///   wire-connected multi-gate pattern, some pattern wire edge at `i`'s
+    ///   position maps to a direct circuit adjacency at `i`, so the
+    ///   pattern contains one of `dirty_pairs`; disconnected patterns
+    ///   (where `i`'s component may be a lone gate) fall back to the
+    ///   `inserted_mask` type lookup; or
+    /// * avoids all inserted nodes — then it can only have become valid
+    ///   because a pattern wire edge now maps onto a *bridged* boundary
+    ///   adjacency, so the pattern contains that bridged pair.
+    pub fn dirty_candidates_into(
+        &self,
+        circuit_histogram: &GateHistogram,
+        num_qubits: usize,
+        inserted_mask: u32,
+        dirty_pairs: &[(Gate, Gate)],
+        scratch: &mut IndexScratch,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        scratch.begin(self.transformations.len());
+        let consider =
+            |id: usize, metas: &[PatternMeta], scratch: &mut IndexScratch, out: &mut Vec<usize>| {
+                if !scratch.visit(id) {
+                    return;
+                }
+                let meta = &metas[id];
+                if meta.qubit_span as usize <= num_qubits
+                    && meta.histogram.is_subset_of(circuit_histogram)
+                {
+                    out.push(id);
+                }
+            };
+        for &(pred, succ) in dirty_pairs {
+            if let Some(bucket) = self.pair_buckets.get(&gate_pair(pred, succ)) {
+                for &id in bucket {
+                    consider(id, &self.metas, scratch, out);
+                }
+            }
+        }
+        if inserted_mask != 0 {
+            for gate in ALL_GATES {
+                if inserted_mask & (1 << gate.index()) == 0 {
+                    continue;
+                }
+                for &id in &self.gate_buckets[gate.index()] {
+                    let meta = &self.metas[id];
+                    // Multi-gate connected patterns are fully covered by the
+                    // dirty-pair lookup above.
+                    if meta.histogram.total() == 1 || !meta.connected {
+                        consider(id, &self.metas, scratch, out);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
     }
 }
 
@@ -261,6 +543,143 @@ mod tests {
         assert!(index.candidates_for(one_h.gate_histogram()).is_empty());
         let two_h = one_h.appended(instruction(Gate::H, &[1]));
         assert_eq!(index.candidates_for(two_h.gate_histogram()), vec![0]);
+    }
+
+    #[test]
+    fn scratch_variant_agrees_and_applies_the_qubit_filter() {
+        let xforms = vec![
+            xform(&[(Gate::H, 0), (Gate::H, 0)], &[]), // 1 qubit... built on 2
+            xform(&[(Gate::Cnot, 0), (Gate::Cnot, 0)], &[]), // spans 2 qubits
+            xform(&[(Gate::H, 0), (Gate::Cnot, 0)], &[(Gate::H, 0)]), // spans 2 qubits
+        ];
+        let index = TransformationIndex::new(xforms);
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[1]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+
+        let mut scratch = IndexScratch::new();
+        let mut ids = Vec::new();
+        index.candidates_into(c.gate_histogram(), 2, &mut scratch, &mut ids);
+        assert_eq!(ids, index.candidates_for(c.gate_histogram()));
+        assert_eq!(ids, vec![0, 1, 2]);
+
+        // On a 1-wire circuit the 2-qubit-span patterns are pruned by span
+        // alone (the histogram is forged to still contain their gates).
+        index.candidates_into(c.gate_histogram(), 1, &mut scratch, &mut ids);
+        assert_eq!(ids, vec![0]);
+
+        // The scratch is reusable across calls (epoch reset, not realloc).
+        index.candidates_into(c.gate_histogram(), 2, &mut scratch, &mut ids);
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dirty_candidates_dispatch_on_adjacency_pairs_and_inserted_types() {
+        let mut split = Circuit::new(2, 0);
+        split.push(instruction(Gate::H, &[0]));
+        split.push(instruction(Gate::X, &[1])); // disconnected H | X
+        let mut single = Circuit::new(1, 0);
+        single.push(instruction(Gate::H, &[0])); // lone H
+        let xforms = vec![
+            xform(&[(Gate::H, 0), (Gate::H, 0)], &[]), // 0: H–H wire pair
+            xform(&[(Gate::X, 0), (Gate::X, 0)], &[]), // 1: X–X wire pair
+            xform(&[(Gate::H, 0), (Gate::Cnot, 0)], &[]), // 2: H–CNOT wire pair
+            xform(&[(Gate::Cnot, 0), (Gate::Cnot, 0)], &[]), // 3: CNOT–CNOT wire pair
+            Transformation {
+                target: split,
+                rewrite: Circuit::new(2, 0),
+            }, // 4: disconnected
+            Transformation {
+                target: single,
+                rewrite: Circuit::new(1, 0),
+            }, // 5: single gate
+        ];
+        let index = TransformationIndex::new(xforms);
+        let mut c = Circuit::new(2, 0);
+        c.push(instruction(Gate::H, &[0]));
+        c.push(instruction(Gate::H, &[1]));
+        c.push(instruction(Gate::X, &[0]));
+        c.push(instruction(Gate::X, &[1]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+
+        let mut scratch = IndexScratch::new();
+        let mut ids = Vec::new();
+        // An H → CNOT adjacency created by the splice concerns exactly the
+        // patterns with an H → CNOT wire edge.
+        index.dirty_candidates_into(
+            c.gate_histogram(),
+            2,
+            0,
+            &[(Gate::H, Gate::Cnot)],
+            &mut scratch,
+            &mut ids,
+        );
+        assert_eq!(ids, vec![2]);
+        // ... and the pair is ordered: CNOT → H adjacency matches nothing.
+        index.dirty_candidates_into(
+            c.gate_histogram(),
+            2,
+            0,
+            &[(Gate::Cnot, Gate::H)],
+            &mut scratch,
+            &mut ids,
+        );
+        assert!(ids.is_empty());
+        // An inserted H alone (no realized pairs, e.g. dropped onto an
+        // empty wire) dispatches the single-gate H pattern and the
+        // disconnected pattern — but *not* the connected multi-gate
+        // H-bearing patterns, which need a realized adjacency.
+        let h_mask = 1u32 << Gate::H.index();
+        index.dirty_candidates_into(c.gate_histogram(), 2, h_mask, &[], &mut scratch, &mut ids);
+        assert_eq!(ids, vec![4, 5]);
+        // Evidence combines, deduplicated, sorted — and always a subset of
+        // the full candidate list.
+        index.dirty_candidates_into(
+            c.gate_histogram(),
+            2,
+            h_mask,
+            &[(Gate::Cnot, Gate::Cnot), (Gate::H, Gate::H)],
+            &mut scratch,
+            &mut ids,
+        );
+        assert_eq!(ids, vec![0, 3, 4, 5]);
+        let full = index.candidates_for(c.gate_histogram());
+        assert!(ids.iter().all(|id| full.contains(id)));
+        // No evidence, no candidates.
+        index.dirty_candidates_into(c.gate_histogram(), 2, 0, &[], &mut scratch, &mut ids);
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn pattern_connectivity_and_max_len_are_recorded() {
+        // H(0); H(1) on distinct wires is disconnected; H then CNOT sharing
+        // wire 0 is connected.
+        let mut split = Circuit::new(2, 0);
+        split.push(instruction(Gate::H, &[0]));
+        split.push(instruction(Gate::H, &[1]));
+        let connected = {
+            let mut c = Circuit::new(2, 0);
+            c.push(instruction(Gate::H, &[0]));
+            c.push(instruction(Gate::Cnot, &[0, 1]));
+            c.push(instruction(Gate::H, &[1]));
+            c
+        };
+        let index = TransformationIndex::new(vec![
+            Transformation {
+                target: split,
+                rewrite: Circuit::new(2, 0),
+            },
+            Transformation {
+                target: connected,
+                rewrite: Circuit::new(2, 0),
+            },
+        ]);
+        assert!(!index.pattern_connected(0));
+        assert!(index.pattern_connected(1));
+        assert_eq!(index.max_pattern_len(), 3);
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod xform;
 
 pub use count::{count_possible_circuits, count_sequences_by_size};
 pub use ecc::{Ecc, EccSet};
-pub use index::TransformationIndex;
+pub use index::{IndexScratch, TransformationIndex};
 pub use library::{
     artifact_checksum, checksum64, path_io_error, Library, LibraryError, LibraryHeader,
     LibraryReader, FORMAT_VERSION, GENERATOR_VERSION, HEADER_LEN, MAGIC,

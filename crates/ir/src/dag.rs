@@ -63,6 +63,73 @@ pub struct SpliceDelta {
     pub replacement: Vec<Instruction>,
 }
 
+/// The footprint of one applied [`SpliceDelta`]: every node whose local
+/// matching state (instruction, wire predecessors, or wire successors)
+/// changed when the splice was performed.
+///
+/// Consumers that cache per-node derived data (the optimizer's match-site
+/// cache) invalidate exactly this set: anything outside it kept its
+/// instruction *and* its wire adjacency bit-for-bit, so locally-checkable
+/// facts about it are still true in the spliced DAG.
+#[derive(Debug, Clone, Default)]
+pub struct SpliceFootprint {
+    /// The removed region's node ids. Dead in the spliced DAG — but their
+    /// slots may have been reused by `inserted` nodes, so stale references
+    /// to them must be dropped, not just ignored.
+    pub removed: Vec<NodeId>,
+    /// Ids of the replacement nodes, in replacement order (what
+    /// [`CircuitDag::splice`] returns).
+    pub inserted: Vec<NodeId>,
+    /// Live nodes *outside* the region whose wire adjacency was rewired:
+    /// the entry predecessor and exit successor of the region on each
+    /// touched wire. Deduplicated, in ascending id order.
+    pub boundary: Vec<NodeId>,
+    /// Boundary pairs that became *directly* wire-adjacent because the
+    /// splice left their wire empty: `(entry predecessor, exit successor)`
+    /// per bypassed wire, in wire order. Any wire adjacency that is new in
+    /// the spliced DAG and does not involve an inserted node is one of
+    /// these — the key fact behind the optimizer's dirty-dispatch filter
+    /// (a new local pattern either binds an inserted node or straddles a
+    /// bridged pair).
+    pub bridged: Vec<(NodeId, NodeId)>,
+}
+
+impl SpliceFootprint {
+    /// The live nodes of the footprint (inserted ∪ boundary), deduplicated:
+    /// every node of the spliced DAG whose local state differs from the
+    /// pre-splice DAG. New locally-checkable facts can only involve these.
+    pub fn live_dirty(&self) -> Vec<NodeId> {
+        let mut out = self.inserted.clone();
+        for &id in &self.boundary {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Total number of distinct nodes in the footprint (removed slots that
+    /// were reused by an insertion count once).
+    pub fn len(&self) -> usize {
+        let mut all: Vec<NodeId> = self
+            .removed
+            .iter()
+            .chain(&self.inserted)
+            .chain(&self.boundary)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+
+    /// Returns `true` when the footprint is empty (never the case for a
+    /// footprint produced by an actual splice: the region is non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.inserted.is_empty() && self.boundary.is_empty()
+    }
+}
+
 /// One gate instance and its wire endpoints.
 #[derive(Debug, Clone)]
 struct Node {
@@ -110,6 +177,11 @@ pub struct CircuitDag {
     /// sequence order by [`CircuitDag::from_circuit`] and maintained across
     /// splices, so [`CircuitDag::to_circuit`] is a plain emission.
     topo: Vec<NodeId>,
+    /// Position of each live node in `topo`, slab-indexed (stale for free
+    /// slots). Because `topo` is a topological order, positions strictly
+    /// increase along every wire edge — the fact the windowed convexity
+    /// check exploits.
+    position: Vec<u32>,
     /// Gate-type multiset, maintained incrementally.
     histogram: GateHistogram,
 }
@@ -159,6 +231,7 @@ impl CircuitDag {
             first_on_qubit,
             last_on_qubit,
             topo: (0..n as u32).map(NodeId).collect(),
+            position: (0..n as u32).collect(),
             histogram: *circuit.gate_histogram(),
         }
     }
@@ -281,10 +354,47 @@ impl CircuitDag {
     /// Returns `true` when `region` is convex: no node outside it lies on a
     /// dependency path between two of its members (paper Figure 5; the
     /// precondition of [`CircuitDag::splice`]).
+    ///
+    /// Checked through the cached topological order: positions strictly
+    /// increase along wire edges, so any path that leaves the region and
+    /// re-enters it runs entirely through nodes whose position is below the
+    /// region's maximum. The search therefore explores only the region's
+    /// position *window* instead of the whole reachable set — for the
+    /// wire-local regions the matcher produces this is near-constant, where
+    /// the naive descendants ∩ ancestors intersection walks O(circuit).
+    /// This check sits on the optimizer's hottest path (once per cached or
+    /// enumerated structural match).
     pub fn is_convex(&self, region: &[NodeId]) -> bool {
-        let descendants = self.descendants(region);
-        let ancestors = self.ancestors(region);
-        ancestors.intersection(&descendants).next().is_none()
+        let hi = region
+            .iter()
+            .map(|id| self.position[id.index()])
+            .max()
+            .unwrap_or(0);
+        // Walk forward from the region's outside successors, bounded by the
+        // window; reaching any region node means a path left and re-entered.
+        let mut visited: HashSet<NodeId> = HashSet::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &id in region {
+            for &s in self.node(id).succs.iter().flatten() {
+                if region.contains(&s) {
+                    continue;
+                }
+                if self.position[s.index()] < hi && visited.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for &v in self.node(u).succs.iter().flatten() {
+                if region.contains(&v) {
+                    return false;
+                }
+                if self.position[v.index()] < hi && visited.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        true
     }
 
     /// Replaces `delta.region` with `delta.replacement` in place, rewiring
@@ -303,6 +413,18 @@ impl CircuitDag {
     /// contiguous on one of its wires, or if the replacement uses a wire the
     /// region does not touch. Convexity of the region is debug-asserted.
     pub fn splice(&mut self, delta: &SpliceDelta) -> Vec<NodeId> {
+        self.splice_with_footprint(delta).inserted
+    }
+
+    /// Like [`CircuitDag::splice`], additionally reporting the full
+    /// [`SpliceFootprint`]: removed and inserted ids plus the boundary nodes
+    /// whose wire adjacency the splice rewired. Incremental consumers (the
+    /// optimizer's match-site cache) invalidate exactly this set.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CircuitDag::splice`].
+    pub fn splice_with_footprint(&mut self, delta: &SpliceDelta) -> SpliceFootprint {
         assert!(!delta.region.is_empty(), "cannot splice an empty region");
         let region: HashSet<NodeId> = delta.region.iter().copied().collect();
         for &id in &delta.region {
@@ -341,6 +463,16 @@ impl CircuitDag {
                 }
             }
         }
+
+        // The boundary is exactly the set of live out-of-region nodes whose
+        // pred/succ arrays the wire reconnections below mutate.
+        let mut boundary: Vec<NodeId> = entry
+            .iter()
+            .chain(exit.iter())
+            .filter_map(|slot| slot.flatten())
+            .collect();
+        boundary.sort_unstable();
+        boundary.dedup();
 
         // Remove the region.
         for &id in &delta.region {
@@ -399,8 +531,14 @@ impl CircuitDag {
         }
 
         // Close each touched wire: connect its current tail to its exit.
+        let mut bridged: Vec<(NodeId, NodeId)> = Vec::new();
         for q in 0..self.num_qubits {
             let Some(exit_succ) = exit[q] else { continue };
+            if tail[q].is_none() {
+                if let (Some(Some(p)), Some(s)) = (entry[q], exit_succ) {
+                    bridged.push((p, s));
+                }
+            }
             let tail_id = match tail[q] {
                 Some((id, op)) => {
                     self.slots[id.index()].as_mut().expect("live").succs[op] = exit_succ;
@@ -444,7 +582,52 @@ impl CircuitDag {
                 .filter(|id| descendants.contains(id)),
         );
         self.topo = new_topo;
-        inserted
+        self.position.resize(self.slots.len(), 0);
+        for (pos, &id) in self.topo.iter().enumerate() {
+            self.position[id.index()] = pos as u32;
+        }
+        SpliceFootprint {
+            removed: delta.region.clone(),
+            inserted,
+            boundary,
+            bridged,
+        }
+    }
+
+    /// Every live node within `radius` undirected wire-adjacency hops of a
+    /// seed, seeds included. "Undirected" means both wire predecessors and
+    /// wire successors count as one hop, so the ball bounds where any
+    /// wire-connected subcircuit of diameter ≤ `radius` touching a seed can
+    /// live. A general locality query for footprint-anchored analyses; the
+    /// optimizer's match-site cache itself repairs matches by *pinning*
+    /// pattern positions onto footprint nodes instead (DESIGN.md §8.2),
+    /// which bounds the work even more tightly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed is not live.
+    pub fn neighborhood(&self, seeds: &[NodeId], radius: usize) -> HashSet<NodeId> {
+        let mut out: HashSet<NodeId> = seeds.iter().copied().collect();
+        for &seed in seeds {
+            assert!(self.contains(seed), "neighborhood seed {seed} is not live");
+        }
+        let mut frontier: Vec<NodeId> = seeds.to_vec();
+        for _ in 0..radius {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let node = self.node(u);
+                for &v in node.preds.iter().chain(node.succs.iter()).flatten() {
+                    if out.insert(v) {
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
     }
 
     /// Operand position of wire `q` in the (live) node `id`.
@@ -479,6 +662,11 @@ impl CircuitDag {
         let mut position = vec![usize::MAX; self.slots.len()];
         for (pos, &id) in self.topo.iter().enumerate() {
             position[id.index()] = pos;
+            if self.position.get(id.index()).copied() != Some(pos as u32) {
+                return Err(format!(
+                    "cached position of {id} disagrees with the topological order"
+                ));
+            }
         }
         let mut recount = GateHistogram::new();
         let mut last_seen: Vec<Option<NodeId>> = vec![None; self.num_qubits];
@@ -696,6 +884,96 @@ mod tests {
     }
 
     #[test]
+    fn splice_footprint_reports_removed_inserted_and_boundary() {
+        // h(0); cnot(0,1); rz(1); cnot(1,2); h(2) — replace the rz.
+        let mut dag = CircuitDag::from_circuit(&sample());
+        let ids = dag.topo_order().to_vec();
+        let fp = dag.splice_with_footprint(&SpliceDelta {
+            region: vec![ids[2]],
+            replacement: vec![rz(1, 1)],
+        });
+        dag.validate().unwrap();
+        assert_eq!(fp.removed, vec![ids[2]]);
+        assert_eq!(fp.inserted.len(), 1);
+        // Boundary on wire 1: cnot(0,1) before and cnot(1,2) after.
+        assert_eq!(fp.boundary, vec![ids[1], ids[3]]);
+        // The replacement occupies wire 1, so no boundary pair is bridged.
+        assert!(fp.bridged.is_empty());
+        // The freed slot is reused, so the distinct-node count is 3, not 4.
+        assert_eq!(fp.inserted, fp.removed);
+        assert_eq!(fp.len(), 3);
+        assert!(!fp.is_empty());
+        // live_dirty = inserted ∪ boundary, deduplicated.
+        let live = fp.live_dirty();
+        assert_eq!(live.len(), 3);
+        assert!(live.contains(&fp.inserted[0]));
+        assert!(live.contains(&ids[1]) && live.contains(&ids[3]));
+    }
+
+    #[test]
+    fn splice_footprint_boundary_covers_wire_reconnections() {
+        // Removing the middle cnot(0,1) with an empty replacement rewires
+        // h(0) (entry on wire 0) and h(1) (exit on wire 1).
+        let mut c = Circuit::new(2, 0);
+        c.push(h(0));
+        c.push(cnot(0, 1));
+        c.push(h(1));
+        let mut dag = CircuitDag::from_circuit(&c);
+        let ids = dag.topo_order().to_vec();
+        let fp = dag.splice_with_footprint(&SpliceDelta {
+            region: vec![ids[1]],
+            replacement: vec![],
+        });
+        dag.validate().unwrap();
+        assert!(fp.inserted.is_empty());
+        assert_eq!(fp.boundary, vec![ids[0], ids[2]]);
+        assert_eq!(fp.live_dirty(), vec![ids[0], ids[2]]);
+        // Wire 0's boundary is bypassed h(0) → output (no exit successor),
+        // and wire 1's entry is the circuit input: the only *node* pair
+        // newly adjacent would need both sides, so nothing is bridged here.
+        assert!(fp.bridged.is_empty());
+    }
+
+    #[test]
+    fn splice_footprint_records_bridged_boundary_pairs() {
+        // h(0); rz(0); h(0): removing the middle rz with an empty
+        // replacement connects the two h's directly.
+        let mut c = Circuit::new(1, 0);
+        c.push(h(0));
+        c.push(rz(0, 1));
+        c.push(h(0));
+        let mut dag = CircuitDag::from_circuit(&c);
+        let ids = dag.topo_order().to_vec();
+        let fp = dag.splice_with_footprint(&SpliceDelta {
+            region: vec![ids[1]],
+            replacement: vec![],
+        });
+        dag.validate().unwrap();
+        assert_eq!(fp.bridged, vec![(ids[0], ids[2])]);
+        assert_eq!(dag.preds(ids[2]), &[Some(ids[0])]);
+    }
+
+    #[test]
+    fn neighborhood_walks_wires_both_ways() {
+        let dag = CircuitDag::from_circuit(&sample());
+        let ids = dag.topo_order().to_vec();
+        // Radius 0: just the seed.
+        assert_eq!(
+            dag.neighborhood(&[ids[2]], 0),
+            [ids[2]].into_iter().collect()
+        );
+        // Radius 1 around rz(1): both CNOTs.
+        assert_eq!(
+            dag.neighborhood(&[ids[2]], 1),
+            [ids[1], ids[2], ids[3]].into_iter().collect()
+        );
+        // Radius 2 reaches everything in this 5-gate chain.
+        assert_eq!(dag.neighborhood(&[ids[2]], 2).len(), 5);
+        // A huge radius saturates at the live node set.
+        assert_eq!(dag.neighborhood(&[ids[0]], 100).len(), 5);
+    }
+
+    #[test]
     fn descendants_ancestors_and_convexity() {
         let dag = CircuitDag::from_circuit(&sample());
         let ids = dag.topo_order().to_vec();
@@ -707,6 +985,50 @@ mod tests {
         // {cnot01, cnot12} skips the rz in between: not convex.
         assert!(!dag.is_convex(&[ids[1], ids[3]]));
         assert!(dag.is_convex(&[ids[1], ids[2]]));
+    }
+
+    /// The windowed convexity check must agree with the definitional
+    /// descendants ∩ ancestors formulation on every 2-subset of a circuit
+    /// with a branchy dependency structure — including after splices, when
+    /// cached positions are no longer the original sequence order.
+    #[test]
+    fn windowed_convexity_agrees_with_closure_intersection() {
+        let mut c = Circuit::new(4, 0);
+        c.push(h(0));
+        c.push(cnot(0, 1));
+        c.push(cnot(1, 2));
+        c.push(cnot(2, 3));
+        c.push(h(3));
+        c.push(rz(1, 1));
+        c.push(cnot(0, 1));
+        let mut dag = CircuitDag::from_circuit(&c);
+        let reference = |dag: &CircuitDag, region: &[NodeId]| {
+            let descendants = dag.descendants(region);
+            let ancestors = dag.ancestors(region);
+            ancestors.intersection(&descendants).next().is_none()
+        };
+        let check_all_pairs = |dag: &CircuitDag| {
+            let ids = dag.topo_order().to_vec();
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i..] {
+                    let region = if a == b { vec![a] } else { vec![a, b] };
+                    assert_eq!(
+                        dag.is_convex(&region),
+                        reference(dag, &region),
+                        "windowed check diverged on {a}, {b}"
+                    );
+                }
+            }
+        };
+        check_all_pairs(&dag);
+        // Splice the middle CNOT away and re-check: positions are rebuilt.
+        let mid = dag.topo_order()[2];
+        dag.splice(&SpliceDelta {
+            region: vec![mid],
+            replacement: vec![rz(1, 2)],
+        });
+        dag.validate().unwrap();
+        check_all_pairs(&dag);
     }
 
     // Non-contiguity on a wire always implies non-convexity (the skipped

@@ -55,7 +55,7 @@ pub mod qasm;
 pub mod semantics;
 
 pub use circuit::{Circuit, Instruction};
-pub use dag::{CircuitDag, NodeId, SpliceDelta};
+pub use dag::{CircuitDag, NodeId, SpliceDelta, SpliceFootprint};
 pub use gate::{Gate, GateHistogram, ALL_GATES};
 pub use gateset::GateSet;
 pub use param::{ExprSpec, ParamExpr, UnsupportedAngleError};

@@ -31,6 +31,28 @@ impl CostModel {
             CostModel::Depth => circuit.depth(),
         }
     }
+
+    /// Whether this model is additive over gates
+    /// ([`CostModel::instruction_cost`] returns `Some` for every
+    /// instruction).
+    pub fn is_additive(&self) -> bool {
+        !matches!(self, CostModel::Depth)
+    }
+
+    /// The cost contribution of a single instruction, for models that are
+    /// additive over gates — `None` for models that are not (depth). When
+    /// `Some`, `cost(circuit) == Σ instruction_cost(instr)`, which lets the
+    /// search compute a rewrite candidate's cost in O(rewrite footprint)
+    /// from its parent's cost and γ-reject it *before* materializing and
+    /// canonicalizing the candidate circuit.
+    pub fn instruction_cost(&self, instr: &quartz_ir::Instruction) -> Option<usize> {
+        match self {
+            CostModel::GateCount => Some(1),
+            CostModel::MultiQubitGateCount => Some(usize::from(instr.gate.num_qubits() >= 2)),
+            CostModel::TCount => Some(usize::from(matches!(instr.gate, Gate::T | Gate::Tdg))),
+            CostModel::Depth => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -49,5 +71,31 @@ mod tests {
         assert_eq!(CostModel::TCount.cost(&c), 2);
         assert_eq!(CostModel::Depth.cost(&c), 2);
         assert_eq!(CostModel::default(), CostModel::GateCount);
+    }
+
+    #[test]
+    fn additive_models_sum_instruction_costs() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::new(Gate::T, vec![0], vec![]));
+        c.push(Instruction::new(Gate::Tdg, vec![1], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        for model in [
+            CostModel::GateCount,
+            CostModel::MultiQubitGateCount,
+            CostModel::TCount,
+        ] {
+            let summed: usize = c
+                .instructions()
+                .iter()
+                .map(|i| model.instruction_cost(i).expect("additive"))
+                .sum();
+            assert_eq!(summed, model.cost(&c), "{model:?}");
+        }
+        assert_eq!(
+            CostModel::Depth.instruction_cost(&c.instructions()[0]),
+            None,
+            "depth is not additive over gates"
+        );
     }
 }

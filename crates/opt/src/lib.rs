@@ -55,6 +55,7 @@
 mod baseline;
 mod cache;
 mod cost;
+mod match_cache;
 mod matcher;
 mod preprocess;
 mod search;
@@ -64,6 +65,7 @@ mod xform;
 pub use baseline::{greedy_optimize, BaselineStats};
 pub use cache::{LibraryCache, LoadedLibrary};
 pub use cost::CostModel;
+pub use match_cache::{CacheStats, MatchCache};
 pub use matcher::{apply_all, apply_at, find_matches, Match, MatchContext};
 pub use preprocess::{
     cancel_adjacent_inverses, clifford_t_to_nam, decompose_toffolis, merge_rotations, nam_to_ibm,

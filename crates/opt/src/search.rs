@@ -15,10 +15,19 @@
 //! [`MatchContext::derive`] in O(rewrite footprint) of recomputation; only
 //! frontier roots pay the O(circuit) [`MatchContext::new`] rebuild
 //! ([`SearchResult::ctx_rebuilds`] vs [`SearchResult::ctx_derives`]).
+//! Match *sites* travel the same derivation chain (DESIGN.md §8): each
+//! expansion's [`MatchCache`] of structural matches is derived from its
+//! parent's — invalidated only around the splice footprint, topped up by
+//! footprint-pinned micro-matches — so a full-circuit pattern-match pass
+//! happens only at frontier roots ([`SearchResult::match_attempts`] vs
+//! [`SearchResult::scoped_rematches`], with the hit rate in
+//! [`SearchResult::cache_hit_rate`]).
 //! Candidates are ordered within each expansion by (cost, canonical
 //! fingerprint), which makes the exploration a function of the candidate
 //! *sets* alone — so the incremental engine is bit-identical to the
-//! rebuild-every-entry engine (`incremental_contexts: false`), and with
+//! rebuild-every-entry engine (`incremental_contexts: false`), the cached
+//! engine is bit-identical to the re-match-every-entry engine
+//! (`cached_matches: false`, matching-effort counters aside), and with
 //! `batch_size = 1` both visit exactly the states the sequential Algorithm 2
 //! visits. Larger batches trade strict best-first order for parallelism
 //! while remaining deterministic: worker results are merged in a fixed
@@ -41,12 +50,14 @@
 
 use crate::cache::LoadedLibrary;
 use crate::cost::CostModel;
-use crate::matcher::MatchContext;
+use crate::match_cache::{CacheStats, MatchCache};
+use crate::matcher::{Match, MatchContext};
 use crate::xform::{canonicalize, Transformation};
-use quartz_gen::TransformationIndex;
+use quartz_gen::{IndexScratch, TransformationIndex};
 use quartz_ir::{Circuit, SpliceDelta};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
@@ -91,6 +102,17 @@ pub struct SearchConfig {
     /// (O(circuit) per dequeue) — same results, more work — kept for
     /// benchmarking the derivation and as a safety valve.
     pub incremental_contexts: bool,
+    /// When `true` (the default), match *sites* travel with the derivation
+    /// chain too: a [`MatchCache`] of structural matches is carried from
+    /// parent to child, invalidated only around the splice footprint, and
+    /// re-matching is restricted to transformations whose pattern uses a
+    /// footprint gate type (DESIGN.md §8). Only frontier roots run a full
+    /// match pass. `false` re-runs full pattern matching on every dequeue —
+    /// same results ([`SearchResult`]s are field-by-field identical apart
+    /// from the matching-effort counters), more work. Caching rides the
+    /// indexed incremental engine, so it is effective only when `use_index`
+    /// and `incremental_contexts` are both `true`.
+    pub cached_matches: bool,
 }
 
 impl Default for SearchConfig {
@@ -106,6 +128,7 @@ impl Default for SearchConfig {
             num_threads: 0,
             use_index: true,
             incremental_contexts: true,
+            cached_matches: true,
         }
     }
 }
@@ -153,8 +176,9 @@ pub struct SearchResult {
     /// Transformations skipped by the index's histogram filter — each one a
     /// pattern match the linear scan would have attempted and lost.
     pub match_skips: usize,
-    /// Candidate circuits discarded because their canonical fingerprint was
-    /// already in the seen-set.
+    /// γ-admissible candidate circuits discarded because their canonical
+    /// fingerprint was already in the seen-set. (Candidates rejected by the
+    /// γ threshold are dropped before fingerprinting and not counted.)
     pub dedup_hits: usize,
     /// Match contexts rebuilt from the sequence form (O(circuit) each).
     /// With incremental contexts enabled these are exactly the frontier
@@ -163,6 +187,25 @@ pub struct SearchResult {
     /// Match contexts derived from a parent context through a splice delta
     /// (O(rewrite footprint) of recomputation each; DESIGN.md §5).
     pub ctx_derives: usize,
+    /// Structural matches served from the carried [`MatchCache`] without
+    /// re-running the pattern matcher (DESIGN.md §8). Always 0 with
+    /// `cached_matches: false`.
+    pub matches_cached: usize,
+    /// Structural matches discovered by actually running the matcher while
+    /// maintaining the cache: full passes at frontier roots plus
+    /// footprint-restricted re-matches on derived entries. Together with
+    /// [`SearchResult::matches_cached`] this yields the cache hit rate;
+    /// both are 0 with `cached_matches: false` (where matching effort shows
+    /// up in `match_attempts` alone).
+    pub matches_recomputed: usize,
+    /// Total size of the splice footprints (removed + inserted + boundary
+    /// nodes) that drove cache invalidation, summed over derived entries.
+    pub cache_invalidate_nodes: usize,
+    /// Footprint-pinned matcher micro-runs performed to maintain the cache
+    /// on derived entries — each bounded by the pattern and its local
+    /// bucket sizes, not the circuit, which is why they are accounted
+    /// separately from the full-circuit `match_attempts`.
+    pub scoped_rematches: usize,
 }
 
 impl SearchResult {
@@ -196,16 +239,38 @@ impl SearchResult {
             self.ctx_derives as f64 / total as f64
         }
     }
+
+    /// Fraction of consulted structural matches that were served from the
+    /// carried match cache instead of being recomputed, in [0, 1] (0 when
+    /// nothing was consulted, e.g. on an empty run or with
+    /// `cached_matches: false`).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.matches_cached + self.matches_recomputed;
+        if total == 0 {
+            0.0
+        } else {
+            self.matches_cached as f64 / total as f64
+        }
+    }
+}
+
+/// The matching state one expansion materialized and shares with any of its
+/// children that make it into the queue: the circuit's [`MatchContext`]
+/// plus, when `cached_matches` is on, its [`MatchCache`] of structural
+/// match sites (DESIGN.md §8).
+pub(crate) struct ExpandedState {
+    ctx: MatchContext,
+    cache: Option<MatchCache>,
 }
 
 /// Where a dequeued entry's match context comes from.
 enum CtxSource {
     /// A frontier root: rebuild the context from the sequence form.
     Root,
-    /// Derive from the parent entry's materialized context through the
+    /// Derive from the parent entry's materialized state through the
     /// splice delta that created this entry.
     Derived {
-        parent: Arc<MatchContext>,
+        parent: Arc<ExpandedState>,
         delta: SpliceDelta,
     },
 }
@@ -255,15 +320,19 @@ struct Candidate {
 
 /// Everything a worker produced for one dequeued circuit.
 pub(crate) struct Expansion {
-    /// The entry's materialized context, shared with any children that make
-    /// it into the queue.
-    ctx: Arc<MatchContext>,
+    /// The entry's materialized matching state, shared with any children
+    /// that make it into the queue.
+    state: Arc<ExpandedState>,
     /// Whether materializing it was a rebuild (true) or a derivation.
     rebuilt: bool,
     candidates: Vec<Candidate>,
     attempts: usize,
     skips: usize,
     dedup_hits: usize,
+    matches_cached: usize,
+    matches_recomputed: usize,
+    cache_invalidate_nodes: usize,
+    scoped_rematches: usize,
 }
 
 /// The per-circuit state of one search: the priority queue, the fingerprint
@@ -288,6 +357,10 @@ pub(crate) struct Frontier {
     dedup_hits: usize,
     ctx_rebuilds: usize,
     ctx_derives: usize,
+    matches_cached: usize,
+    matches_recomputed: usize,
+    cache_invalidate_nodes: usize,
+    scoped_rematches: usize,
     improvement_trace: Vec<(Duration, usize)>,
 }
 
@@ -318,6 +391,10 @@ impl Frontier {
             dedup_hits: 0,
             ctx_rebuilds: 0,
             ctx_derives: 0,
+            matches_cached: 0,
+            matches_recomputed: 0,
+            cache_invalidate_nodes: 0,
+            scoped_rematches: 0,
             improvement_trace: vec![(Duration::ZERO, initial_cost)],
         }
     }
@@ -378,6 +455,10 @@ impl Frontier {
         self.match_attempts += expansion.attempts;
         self.match_skips += expansion.skips;
         self.dedup_hits += expansion.dedup_hits;
+        self.matches_cached += expansion.matches_cached;
+        self.matches_recomputed += expansion.matches_recomputed;
+        self.cache_invalidate_nodes += expansion.cache_invalidate_nodes;
+        self.scoped_rematches += expansion.scoped_rematches;
         if expansion.rebuilt {
             self.ctx_rebuilds += 1;
         } else {
@@ -399,7 +480,7 @@ impl Frontier {
                 self.seen.insert(candidate.fingerprint);
                 let ctx = if config.incremental_contexts {
                     CtxSource::Derived {
-                        parent: Arc::clone(&expansion.ctx),
+                        parent: Arc::clone(&expansion.state),
                         delta: candidate.delta,
                     }
                 } else {
@@ -443,6 +524,10 @@ impl Frontier {
             dedup_hits: self.dedup_hits,
             ctx_rebuilds: self.ctx_rebuilds,
             ctx_derives: self.ctx_derives,
+            matches_cached: self.matches_cached,
+            matches_recomputed: self.matches_recomputed,
+            cache_invalidate_nodes: self.cache_invalidate_nodes,
+            scoped_rematches: self.scoped_rematches,
         }
     }
 }
@@ -588,71 +673,222 @@ impl Optimizer {
         frontier.into_result(start.elapsed())
     }
 
-    /// Expands one dequeued circuit: materializes its [`MatchContext`]
-    /// (derived from the parent's where possible, rebuilt at frontier
-    /// roots), dispatches through the index (or the full scan), matches each
-    /// surviving transformation anchored on that context, and
+    /// Expands one dequeued circuit: materializes its [`MatchContext`] and
+    /// — with `cached_matches` — its [`MatchCache`] (both derived from the
+    /// parent's where possible, rebuilt at frontier roots), dispatches
+    /// through the index (or the full scan), obtains each surviving
+    /// transformation's match set (served from the cache, with a use-time
+    /// convexity check, or by matching anchored on the context), and
     /// canonicalizes/fingerprints/costs every successor. Candidates are
     /// sorted by (cost, fingerprint) so the expansion's output is a function
     /// of the candidate set alone — independent of the circuit's sequence
-    /// representation, of match enumeration order, and of wall-clock time
-    /// (the timeout is checked between dequeued entries, never mid-scan).
-    /// Pure with respect to the search state — safe to run on worker
-    /// threads.
+    /// representation, of match enumeration order, of whether a match came
+    /// from the cache, and of wall-clock time (the timeout is checked
+    /// between dequeued entries, never mid-scan). Pure with respect to the
+    /// search state — safe to run on worker threads; the only thread-local
+    /// state is reusable scratch buffers that never influence results.
     pub(crate) fn expand_entry(
         &self,
         entry: &QueueEntry,
         frozen_best: usize,
         seen: &HashSet<u64>,
     ) -> Expansion {
-        let (ctx, rebuilt) = match &entry.ctx {
-            CtxSource::Root => (MatchContext::new(&entry.circuit), true),
-            CtxSource::Derived { parent, delta } => (parent.derive(delta), false),
+        // Per-thread scratch: the index dispatch's visited set and the
+        // candidate-id buffer, reused across dequeues so the hot loop
+        // allocates nothing in steady state.
+        thread_local! {
+            static SCRATCH: RefCell<(IndexScratch, Vec<usize>)> =
+                RefCell::new((IndexScratch::new(), Vec::new()));
+        }
+        SCRATCH.with(|scratch| {
+            let (index_scratch, ids) = &mut *scratch.borrow_mut();
+            self.expand_entry_with_scratch(entry, frozen_best, seen, index_scratch, ids)
+        })
+    }
+
+    fn expand_entry_with_scratch(
+        &self,
+        entry: &QueueEntry,
+        frozen_best: usize,
+        seen: &HashSet<u64>,
+        index_scratch: &mut IndexScratch,
+        ids: &mut Vec<usize>,
+    ) -> Expansion {
+        // Caching rides the indexed incremental engine: without derived
+        // contexts there is no chain to carry the cache along, and without
+        // the index there is no dirty-dispatch query.
+        let caching =
+            self.config.cached_matches && self.config.use_index && self.config.incremental_contexts;
+        let (mut state, rebuilt, mut cache_stats) = match &entry.ctx {
+            CtxSource::Root => (
+                ExpandedState {
+                    ctx: MatchContext::new(&entry.circuit),
+                    cache: None,
+                },
+                true,
+                CacheStats::default(),
+            ),
+            CtxSource::Derived { parent, delta } => {
+                if caching {
+                    let (ctx, footprint) = parent.ctx.derive_with_footprint(delta);
+                    let (cache, stats) = match &parent.cache {
+                        Some(parent_cache) => {
+                            parent_cache.derive(&ctx, &self.index, &footprint, index_scratch)
+                        }
+                        // Unreachable in practice (within one run either
+                        // every expansion caches or none does), but a full
+                        // build is always a correct fallback.
+                        None => {
+                            let mut all = Vec::new();
+                            self.index.candidates_into(
+                                ctx.dag().gate_histogram(),
+                                ctx.dag().num_qubits(),
+                                index_scratch,
+                                &mut all,
+                            );
+                            MatchCache::build_for(&ctx, &self.index, &all)
+                        }
+                    };
+                    (
+                        ExpandedState {
+                            ctx,
+                            cache: Some(cache),
+                        },
+                        false,
+                        stats,
+                    )
+                } else {
+                    (
+                        ExpandedState {
+                            ctx: parent.ctx.derive(delta),
+                            cache: None,
+                        },
+                        false,
+                        CacheStats::default(),
+                    )
+                }
+            }
         };
         let total = self.index.len();
-        let candidate_ids: Vec<usize> = if self.config.use_index {
-            self.index.candidates_for(ctx.dag().gate_histogram())
+        if self.config.use_index {
+            self.index.candidates_into(
+                state.ctx.dag().gate_histogram(),
+                state.ctx.dag().num_qubits(),
+                index_scratch,
+                ids,
+            );
         } else {
-            (0..total).collect()
-        };
+            ids.clear();
+            ids.extend(0..total);
+        }
+        if caching && state.cache.is_none() {
+            // Frontier root: one full structural match pass seeds the cache
+            // the whole derivation chain below this entry will reuse.
+            let (cache, stats) = MatchCache::build_for(&state.ctx, &self.index, ids);
+            state.cache = Some(cache);
+            cache_stats = stats;
+        }
+
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut attempts = 0usize;
-        let skips = total - candidate_ids.len();
+        let skips = total - ids.len();
         let mut dedup_hits = 0usize;
+        let mut matches_cached = 0usize;
         let cost_model = self.config.cost_model;
         let gamma = self.config.gamma;
-        for id in candidate_ids {
-            attempts += 1;
-            let xform = &self.index.transformations()[id];
-            for m in ctx.find_matches(&xform.target) {
-                let Some(delta) = ctx.delta_for(xform, &m) else {
-                    continue;
-                };
-                let canonical = canonicalize(&ctx.apply_delta(&delta));
-                let fingerprint = canonical.fingerprint();
-                if seen.contains(&fingerprint) {
-                    dedup_hits += 1;
-                    continue;
+        // For gate-additive cost models a candidate's cost is the parent's
+        // plus the rewrite's O(footprint) delta, so the γ filter can reject
+        // cost-increasing rewrites *before* the O(circuit) materialize +
+        // canonicalize + fingerprint work — by far the dominant per-match
+        // cost on large circuits. Depth (non-additive) takes the slow path.
+        let additive_parent_cost: Option<usize> = cost_model
+            .is_additive()
+            .then(|| cost_model.cost(&entry.circuit));
+        let mut consider = |ctx: &MatchContext, xform: &Transformation, m: &Match| {
+            let Some(delta) = ctx.delta_for(xform, m) else {
+                return;
+            };
+            let precomputed_cost = additive_parent_cost.map(|parent| {
+                let removed: usize = delta
+                    .region
+                    .iter()
+                    .map(|&n| {
+                        cost_model
+                            .instruction_cost(ctx.dag().instruction(n))
+                            .expect("additive model")
+                    })
+                    .sum();
+                let added: usize = delta
+                    .replacement
+                    .iter()
+                    .map(|i| cost_model.instruction_cost(i).expect("additive model"))
+                    .sum();
+                parent + added - removed
+            });
+            if let Some(cost) = precomputed_cost {
+                if (cost as f64) >= gamma * frozen_best as f64 {
+                    return;
                 }
-                let cost = cost_model.cost(&canonical);
-                if (cost as f64) < gamma * frozen_best as f64 {
-                    candidates.push(Candidate {
-                        circuit: canonical,
-                        fingerprint,
-                        cost,
-                        delta,
-                    });
+            }
+            let canonical = canonicalize(&ctx.apply_delta(&delta));
+            let cost = match precomputed_cost {
+                Some(cost) => {
+                    debug_assert_eq!(cost, cost_model.cost(&canonical));
+                    cost
+                }
+                None => cost_model.cost(&canonical),
+            };
+            if (cost as f64) >= gamma * frozen_best as f64 {
+                return;
+            }
+            let fingerprint = canonical.fingerprint();
+            if seen.contains(&fingerprint) {
+                dedup_hits += 1;
+                return;
+            }
+            candidates.push(Candidate {
+                circuit: canonical,
+                fingerprint,
+                cost,
+                delta,
+            });
+        };
+        for &id in ids.iter() {
+            let xform = &self.index.transformations()[id];
+            match &state.cache {
+                Some(cache) => {
+                    // Matches come from the cache; convexity — the one
+                    // non-local match property — is re-validated against the
+                    // current DAG, exactly where the uncached matcher checks
+                    // it (at full depth).
+                    matches_cached += cache.carried(id);
+                    for m in cache.matches(id) {
+                        if state.ctx.is_match_convex(m) {
+                            consider(&state.ctx, xform, m);
+                        }
+                    }
+                }
+                None => {
+                    attempts += 1;
+                    for m in state.ctx.find_matches(&xform.target) {
+                        consider(&state.ctx, xform, &m);
+                    }
                 }
             }
         }
+        attempts += cache_stats.full_passes;
         candidates.sort_by_key(|c| (c.cost, c.fingerprint));
         Expansion {
-            ctx: Arc::new(ctx),
+            state: Arc::new(state),
             rebuilt,
             candidates,
             attempts,
             skips,
             dedup_hits,
+            matches_cached,
+            matches_recomputed: cache_stats.matches_recomputed,
+            cache_invalidate_nodes: cache_stats.dirty_nodes,
+            scoped_rematches: cache_stats.scoped_runs,
         }
     }
 }
@@ -843,18 +1079,22 @@ mod tests {
         );
     }
 
-    /// The incremental engine must be bit-identical to the rebuild-every-
-    /// entry engine, and must rebuild only at frontier roots.
-    #[test]
-    fn incremental_contexts_are_bit_identical_to_rebuilds() {
-        let base = nam_optimizer(2, 2, 0);
-        let rebuild_all = Optimizer::new(
-            base.transformations().to_vec(),
-            SearchConfig {
-                incremental_contexts: false,
-                ..base.config().clone()
-            },
-        );
+    /// Asserts the *search-outcome* fields of two results coincide — every
+    /// field except the matching-effort counters, which legitimately differ
+    /// between engines (that difference is the point of the cache).
+    fn assert_same_outcome(a: &SearchResult, b: &SearchResult) {
+        assert_eq!(a.best_circuit, b.best_circuit);
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.initial_cost, b.initial_cost);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.circuits_seen, b.circuits_seen);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+        let trace_a: Vec<usize> = a.improvement_trace.iter().map(|(_, c)| *c).collect();
+        let trace_b: Vec<usize> = b.improvement_trace.iter().map(|(_, c)| *c).collect();
+        assert_eq!(trace_a, trace_b);
+    }
+
+    fn redundant_three_qubit_circuit() -> Circuit {
         let mut c = Circuit::new(3, 0);
         c.push(instruction(Gate::H, &[0]));
         c.push(instruction(Gate::H, &[0]));
@@ -863,22 +1103,36 @@ mod tests {
         c.push(instruction(Gate::Cnot, &[1, 2]));
         c.push(instruction(Gate::X, &[2]));
         c.push(instruction(Gate::X, &[2]));
-        let incremental = base.optimize(&c);
+        c
+    }
+
+    /// The incremental engine must be bit-identical to the rebuild-every-
+    /// entry engine, and must rebuild only at frontier roots. Run with the
+    /// match cache off so even `match_attempts` must agree exactly.
+    #[test]
+    fn incremental_contexts_are_bit_identical_to_rebuilds() {
+        let base = nam_optimizer(2, 2, 0);
+        let incremental_uncached = Optimizer::new(
+            base.transformations().to_vec(),
+            SearchConfig {
+                cached_matches: false,
+                ..base.config().clone()
+            },
+        );
+        let rebuild_all = Optimizer::new(
+            base.transformations().to_vec(),
+            SearchConfig {
+                incremental_contexts: false,
+                cached_matches: false,
+                ..base.config().clone()
+            },
+        );
+        let c = redundant_three_qubit_circuit();
+        let incremental = incremental_uncached.optimize(&c);
         let rebuilt = rebuild_all.optimize(&c);
 
-        assert_eq!(incremental.best_circuit, rebuilt.best_circuit);
-        assert_eq!(incremental.best_cost, rebuilt.best_cost);
-        assert_eq!(incremental.iterations, rebuilt.iterations);
-        assert_eq!(incremental.circuits_seen, rebuilt.circuits_seen);
+        assert_same_outcome(&incremental, &rebuilt);
         assert_eq!(incremental.match_attempts, rebuilt.match_attempts);
-        assert_eq!(incremental.dedup_hits, rebuilt.dedup_hits);
-        let inc_trace: Vec<usize> = incremental
-            .improvement_trace
-            .iter()
-            .map(|(_, c)| *c)
-            .collect();
-        let reb_trace: Vec<usize> = rebuilt.improvement_trace.iter().map(|(_, c)| *c).collect();
-        assert_eq!(inc_trace, reb_trace);
 
         // Context accounting: the incremental run rebuilds only the root;
         // the rebuild-all run never derives.
@@ -893,5 +1147,77 @@ mod tests {
         assert!(incremental.ctx_derives > 0);
         assert!(incremental.ctx_derive_rate() > 0.0);
         assert_eq!(rebuilt.ctx_derive_rate(), 0.0);
+    }
+
+    /// The cached-match engine (the default) must produce the same search
+    /// outcome as the engine that re-matches everything on every dequeue —
+    /// while actually attempting far fewer pattern matches.
+    #[test]
+    fn cached_matches_are_bit_identical_to_full_rematching() {
+        let cached = nam_optimizer(2, 2, 0);
+        assert!(cached.config().cached_matches, "caching must default on");
+        let uncached = Optimizer::new(
+            cached.transformations().to_vec(),
+            SearchConfig {
+                cached_matches: false,
+                ..cached.config().clone()
+            },
+        );
+        let c = redundant_three_qubit_circuit();
+        let with_cache = cached.optimize(&c);
+        let without_cache = uncached.optimize(&c);
+
+        assert_same_outcome(&with_cache, &without_cache);
+        // Same index filter, same dispatch skips.
+        assert_eq!(with_cache.match_skips, without_cache.match_skips);
+        // Caching means strictly less matching work and a nonzero hit rate.
+        assert!(
+            with_cache.match_attempts < without_cache.match_attempts,
+            "cache did not reduce matcher runs: {} vs {}",
+            with_cache.match_attempts,
+            without_cache.match_attempts
+        );
+        assert!(with_cache.matches_cached > 0);
+        assert!(with_cache.matches_recomputed > 0); // at least the root pass
+        assert!(with_cache.cache_invalidate_nodes > 0);
+        assert!(with_cache.cache_hit_rate() > 0.0);
+        // The uncached engine reports no cache activity.
+        assert_eq!(without_cache.matches_cached, 0);
+        assert_eq!(without_cache.matches_recomputed, 0);
+        assert_eq!(without_cache.cache_invalidate_nodes, 0);
+        assert_eq!(without_cache.cache_hit_rate(), 0.0);
+    }
+
+    /// The rate accessors must return 0 (not NaN) when their denominators
+    /// are zero: `reduction` on a zero-cost input, `dispatch_skip_rate` /
+    /// `cache_hit_rate` / `ctx_derive_rate` on a run that did no matching
+    /// work at all (an empty transformation library on an empty circuit).
+    #[test]
+    fn rates_are_zero_not_nan_on_empty_runs() {
+        let opt = Optimizer::new(Vec::new(), SearchConfig::default());
+        let result = opt.optimize(&Circuit::new(2, 0));
+        assert_eq!(result.initial_cost, 0);
+        assert_eq!(result.best_cost, 0);
+        assert_eq!(result.match_attempts + result.match_skips, 0);
+        assert_eq!(result.reduction(), 0.0);
+        assert_eq!(result.dispatch_skip_rate(), 0.0);
+        assert_eq!(result.cache_hit_rate(), 0.0);
+
+        // A populated optimizer on the empty circuit exercises the
+        // zero-initial-cost path of `reduction` too; every rate stays
+        // finite and in [0, 1].
+        let populated = nam_optimizer(2, 2, 0);
+        let empty = populated.optimize(&Circuit::new(2, 0));
+        assert_eq!(empty.initial_cost, 0);
+        assert_eq!(empty.reduction(), 0.0);
+        for rate in [
+            empty.reduction(),
+            empty.dispatch_skip_rate(),
+            empty.ctx_derive_rate(),
+            empty.cache_hit_rate(),
+        ] {
+            assert!(rate.is_finite());
+            assert!((0.0..=1.0).contains(&rate));
+        }
     }
 }

@@ -273,6 +273,9 @@ mod tests {
             assert_eq!(batched.dedup_hits, solo.dedup_hits);
             assert_eq!(batched.ctx_rebuilds, solo.ctx_rebuilds);
             assert_eq!(batched.ctx_derives, solo.ctx_derives);
+            assert_eq!(batched.matches_cached, solo.matches_cached);
+            assert_eq!(batched.matches_recomputed, solo.matches_recomputed);
+            assert_eq!(batched.cache_invalidate_nodes, solo.cache_invalidate_nodes);
         }
     }
 
@@ -304,6 +307,9 @@ mod tests {
             assert_eq!(batched.dedup_hits, solo.dedup_hits);
             assert_eq!(batched.ctx_rebuilds, solo.ctx_rebuilds);
             assert_eq!(batched.ctx_derives, solo.ctx_derives);
+            assert_eq!(batched.matches_cached, solo.matches_cached);
+            assert_eq!(batched.matches_recomputed, solo.matches_recomputed);
+            assert_eq!(batched.cache_invalidate_nodes, solo.cache_invalidate_nodes);
         }
     }
 

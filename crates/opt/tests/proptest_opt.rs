@@ -94,6 +94,17 @@ fn random_topological_reorder(circuit: &Circuit, picks: &[usize]) -> Circuit {
     out
 }
 
+/// One shared NAM (2, 2) dispatch index for the engine-equivalence cases,
+/// generated once per process instead of once per proptest case.
+fn shared_nam_index() -> Arc<quartz_opt::TransformationIndex> {
+    use std::sync::OnceLock;
+    static INDEX: OnceLock<Arc<quartz_opt::TransformationIndex>> = OnceLock::new();
+    Arc::clone(INDEX.get_or_init(|| {
+        let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 1)).run();
+        Optimizer::from_ecc_set(&set, SearchConfig::default()).shared_index()
+    }))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -191,6 +202,51 @@ proptest! {
         let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
         let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
         prop_assert_eq!(trace_a, trace_b);
+    }
+
+    /// The match-site cache (DESIGN.md §8) must be invisible in search
+    /// outcomes: walking the random rewrite chains a real search performs,
+    /// the cached engine's `SearchResult` is field-by-field identical to
+    /// `cached_matches: false` — same best circuit, same trajectory, same
+    /// dedup/context counters — while doing no worse on full match passes.
+    #[test]
+    fn cached_match_engine_is_bit_identical_to_full_rematching(
+        input in arb_clifford_t_circuit(3, 10),
+    ) {
+        let nam = quartz_opt::clifford_t_to_nam(&input);
+        let config = SearchConfig {
+            timeout: Duration::from_secs(60),
+            max_iterations: 8,
+            ..SearchConfig::default()
+        };
+        prop_assert!(config.cached_matches, "caching must default on");
+        let cached = Optimizer::with_index(shared_nam_index(), config.clone());
+        let uncached = Optimizer::with_index(
+            shared_nam_index(),
+            SearchConfig { cached_matches: false, ..config },
+        );
+        let a = cached.optimize(&nam);
+        let b = uncached.optimize(&nam);
+        prop_assert_eq!(&a.best_circuit, &b.best_circuit);
+        prop_assert_eq!(a.best_cost, b.best_cost);
+        prop_assert_eq!(a.initial_cost, b.initial_cost);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.circuits_seen, b.circuits_seen);
+        prop_assert_eq!(a.dedup_hits, b.dedup_hits);
+        prop_assert_eq!(a.match_skips, b.match_skips);
+        prop_assert_eq!(a.ctx_rebuilds, b.ctx_rebuilds);
+        prop_assert_eq!(a.ctx_derives, b.ctx_derives);
+        let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
+        prop_assert_eq!(trace_a, trace_b);
+        // Matching effort: only roots pay full passes under caching.
+        prop_assert!(a.match_attempts <= b.match_attempts);
+        prop_assert_eq!(b.matches_cached, 0);
+        prop_assert_eq!(b.scoped_rematches, 0);
+        if a.iterations > 1 {
+            prop_assert!(a.match_attempts < b.match_attempts);
+            prop_assert!(a.matches_cached > 0 || a.matches_recomputed > 0);
+        }
     }
 
     #[test]

@@ -2,13 +2,18 @@
 //! Clifford+T input → preprocessing (Toffoli decomposition + rotation
 //! merging) → superoptimizer search, for the Nam gate set.
 //!
+//! Also writes the run's engine counters to `BENCH_search.json`
+//! (machine-readable; see `quartz_bench::report`) so ad-hoc benchmark runs
+//! contribute to the recorded perf trajectory too.
+//!
 //! Run with `cargo run --release --example optimize_benchmark [-- <circuit_name>]`.
 
 use quartz::circuits::suite;
 use quartz::gen::{GenConfig, Generator};
 use quartz::ir::GateSet;
 use quartz::opt::{greedy_optimize, preprocess_nam, Optimizer, SearchConfig};
-use std::time::Duration;
+use quartz_bench::report::{BenchReport, BENCH_SEARCH_FILE};
+use std::time::{Duration, Instant};
 
 fn main() {
     let name = std::env::args()
@@ -60,7 +65,9 @@ fn main() {
             ..SearchConfig::default()
         },
     );
+    let search_start = Instant::now();
     let result = optimizer.optimize(&preprocessed);
+    let search_wall = search_start.elapsed();
     println!(
         "Quartz end-to-end: {} gates ({:.1}% reduction over the original, {} search iterations)",
         result.best_cost,
@@ -84,4 +91,31 @@ fn main() {
         result.ctx_derives,
         100.0 * result.ctx_derive_rate()
     );
+    println!(
+        "Match cache: {} sites served from the carried cache, {} recomputed \
+         ({:.1}% hit rate), {} scoped re-match micro-runs, {} footprint nodes \
+         invalidated",
+        result.matches_cached,
+        result.matches_recomputed,
+        100.0 * result.cache_hit_rate(),
+        result.scoped_rematches,
+        result.cache_invalidate_nodes
+    );
+
+    let mut report = BenchReport::new("optimize_benchmark");
+    report
+        .suite(&format!("optimize/{name}"))
+        .metric("wall_secs", search_wall.as_secs_f64())
+        .metric("iterations", result.iterations as f64)
+        .metric("best_cost", result.best_cost as f64)
+        .metric("match_attempts", result.match_attempts as f64)
+        .metric("scoped_rematches", result.scoped_rematches as f64)
+        .metric("matches_cached", result.matches_cached as f64)
+        .metric("matches_recomputed", result.matches_recomputed as f64)
+        .metric("cache_hit_rate", result.cache_hit_rate())
+        .metric("dispatch_skip_rate", result.dispatch_skip_rate());
+    match report.write(BENCH_SEARCH_FILE) {
+        Ok(()) => println!("Wrote {BENCH_SEARCH_FILE}"),
+        Err(e) => println!("warning: could not write {BENCH_SEARCH_FILE}: {e}"),
+    }
 }

@@ -83,6 +83,14 @@ fn main() {
         result.ctx_derives,
         100.0 * result.ctx_derive_rate()
     );
+    println!(
+        "Match cache: {} sites served from the carried cache, {} recomputed \
+         ({:.1}% hit rate), {} footprint nodes invalidated",
+        result.matches_cached,
+        result.matches_recomputed,
+        100.0 * result.cache_hit_rate(),
+        result.cache_invalidate_nodes
+    );
 
     // 4. Double-check the result numerically.
     let ok = quartz::ir::equivalent_up_to_phase(&circuit, &result.best_circuit, &[], 1e-9);

@@ -190,6 +190,19 @@ fn service_batch_is_bit_identical_to_standalone_optimizer_runs() {
         assert_eq!(batched.dedup_hits, solo.dedup_hits, "circuit {id}");
         assert_eq!(batched.ctx_rebuilds, solo.ctx_rebuilds, "circuit {id}");
         assert_eq!(batched.ctx_derives, solo.ctx_derives, "circuit {id}");
+        assert_eq!(batched.matches_cached, solo.matches_cached, "circuit {id}");
+        assert_eq!(
+            batched.matches_recomputed, solo.matches_recomputed,
+            "circuit {id}"
+        );
+        assert_eq!(
+            batched.cache_invalidate_nodes, solo.cache_invalidate_nodes,
+            "circuit {id}"
+        );
+        assert_eq!(
+            batched.scoped_rematches, solo.scoped_rematches,
+            "circuit {id}"
+        );
         let batched_trace: Vec<usize> = batched.improvement_trace.iter().map(|&(_, c)| c).collect();
         let solo_trace: Vec<usize> = solo.improvement_trace.iter().map(|&(_, c)| c).collect();
         assert_eq!(batched_trace, solo_trace, "circuit {id}");
@@ -208,6 +221,62 @@ fn service_batch_is_bit_identical_to_standalone_optimizer_runs() {
             .collect();
         assert_eq!(streamed, batched_trace[1..].to_vec(), "circuit {id}");
     }
+}
+
+/// Acceptance for the match-site cache (DESIGN.md §8) at the service level:
+/// the default cached engine optimizes a mixed NAM batch to bit-identical
+/// per-circuit outcomes while performing at most half the full-circuit
+/// pattern-match passes, with a nonzero cache hit rate.
+#[test]
+fn cached_service_batch_halves_match_attempts_with_identical_results() {
+    let set = nam_ecc_set(2, 2, 2);
+    let config = SearchConfig {
+        timeout: Duration::from_secs(300),
+        max_iterations: 10,
+        ..SearchConfig::default()
+    };
+    assert!(config.cached_matches, "caching must be the default");
+    let cached = OptimizationService::from_ecc_set(&set, config.clone());
+    let uncached = OptimizationService::from_ecc_set(
+        &set,
+        SearchConfig {
+            cached_matches: false,
+            ..config
+        },
+    );
+    let batch = vec![
+        preprocess_nam(&suite::build_clifford_t("tof_3").unwrap()),
+        preprocess_nam(&suite::build_clifford_t("mod5_4").unwrap()),
+    ];
+    let cached_results = cached.optimize_batch(&batch);
+    let uncached_results = uncached.optimize_batch(&batch);
+    let mut cached_attempts = 0;
+    let mut uncached_attempts = 0;
+    let mut cached_hits = 0;
+    for (id, (a, b)) in cached_results.iter().zip(&uncached_results).enumerate() {
+        assert_eq!(a.best_circuit, b.best_circuit, "circuit {id}");
+        assert_eq!(a.best_cost, b.best_cost, "circuit {id}");
+        assert_eq!(a.iterations, b.iterations, "circuit {id}");
+        assert_eq!(a.circuits_seen, b.circuits_seen, "circuit {id}");
+        assert_eq!(a.dedup_hits, b.dedup_hits, "circuit {id}");
+        assert_eq!(a.match_skips, b.match_skips, "circuit {id}");
+        let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
+        assert_eq!(trace_a, trace_b, "circuit {id}");
+        cached_attempts += a.match_attempts;
+        uncached_attempts += b.match_attempts;
+        cached_hits += a.matches_cached;
+        assert!(
+            a.iterations > 1,
+            "circuit {id} must search long enough to exercise the cache"
+        );
+    }
+    assert!(
+        cached_attempts * 2 <= uncached_attempts,
+        "expected at least a 2x reduction in full match passes: \
+         cached {cached_attempts} vs uncached {uncached_attempts}"
+    );
+    assert!(cached_hits > 0);
 }
 
 #[test]
@@ -332,6 +401,10 @@ fn committed_artifact_is_bit_identical_to_generate_at_startup() {
         assert_eq!(a.dedup_hits, b.dedup_hits);
         assert_eq!(a.ctx_rebuilds, b.ctx_rebuilds);
         assert_eq!(a.ctx_derives, b.ctx_derives);
+        assert_eq!(a.matches_cached, b.matches_cached);
+        assert_eq!(a.matches_recomputed, b.matches_recomputed);
+        assert_eq!(a.cache_invalidate_nodes, b.cache_invalidate_nodes);
+        assert_eq!(a.scoped_rematches, b.scoped_rematches);
         let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
         let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
         assert_eq!(trace_a, trace_b);
