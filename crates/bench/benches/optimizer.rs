@@ -192,6 +192,66 @@ fn bench_cached_matches_qft8(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental-fingerprint prefilter vs the materialize-everything
+/// engine on QFT-8, with the tentpole acceptance gates asserted inline:
+/// bit-identical outcomes, a majority of duplicate materializations avoided,
+/// and a zero `fp_confirm_mismatches` canary.
+fn bench_incremental_fingerprints_qft8(c: &mut Criterion) {
+    let (ecc_set, _) = build_ecc_set(GateSetKind::Nam, 2, 2);
+    let qft = approximate_qft(8);
+    let config = SearchConfig {
+        timeout: Duration::from_secs(120),
+        max_iterations: 8,
+        ..SearchConfig::default()
+    };
+    let fast = Optimizer::from_ecc_set(&ecc_set, config.clone());
+    let materializing = Optimizer::from_ecc_set(
+        &ecc_set,
+        SearchConfig {
+            incremental_fingerprints: false,
+            ..config
+        },
+    );
+
+    let on = fast.optimize(&qft);
+    let off = materializing.optimize(&qft);
+    println!(
+        "qft_8 incremental fingerprints: {} of {} duplicates fast-rejected \
+         ({:.1}%), {} materializations avoided, {} confirm mismatches; \
+         best cost {} vs {}",
+        on.fp_fast_rejects,
+        on.dedup_hits,
+        100.0 * on.fp_fast_reject_rate(),
+        on.materializations_avoided,
+        on.fp_confirm_mismatches,
+        on.best_cost,
+        off.best_cost,
+    );
+    assert_eq!(
+        (on.best_cost, on.iterations, on.circuits_seen, on.dedup_hits),
+        (
+            off.best_cost,
+            off.iterations,
+            off.circuits_seen,
+            off.dedup_hits
+        ),
+        "fingerprint engines must be bit-identical"
+    );
+    assert!(on.materializations_avoided * 2 >= on.dedup_hits);
+    assert_eq!(on.fp_confirm_mismatches, 0);
+    assert_eq!(off.fp_fast_rejects, 0);
+
+    let mut group = c.benchmark_group("incremental_fingerprints_qft_8");
+    group.sample_size(10);
+    group.bench_function("previewed", |b| {
+        b.iter(|| std::hint::black_box(fast.optimize(&qft).fp_fast_rejects))
+    });
+    group.bench_function("materialized", |b| {
+        b.iter(|| std::hint::black_box(materializing.optimize(&qft).dedup_hits))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_preprocessing,
@@ -199,6 +259,7 @@ criterion_group!(
     bench_search_iterations,
     bench_dispatch_qft8,
     bench_incremental_contexts_qft8,
-    bench_cached_matches_qft8
+    bench_cached_matches_qft8,
+    bench_incremental_fingerprints_qft8
 );
 criterion_main!(benches);

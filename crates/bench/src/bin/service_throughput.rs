@@ -9,11 +9,15 @@
 //!   ECC payload and prebuilt index — through the `LibraryCache`
 //!   (DESIGN.md §7);
 //!
-//! and the **match-site cache** (DESIGN.md §8): every configuration runs
-//! both with `cached_matches: true` (the default) and `false`, asserting
-//! that the two engines produce bit-identical per-circuit search outcomes
-//! while the cached engine performs at most half the full-circuit pattern
-//! match passes, with a nonzero cache hit rate.
+//! and the **match-site cache** (DESIGN.md §8) plus the **incremental
+//! structural-hash prefilter** (DESIGN.md §9): every configuration runs as
+//! three engines — `cached` (all defaults on), `uncached`
+//! (`cached_matches: false`), and `nofp` (`incremental_fingerprints:
+//! false`) — asserting that all three produce bit-identical per-circuit
+//! search outcomes while the cached engine performs at most half the
+//! full-circuit pattern match passes and the prefilter avoids at least
+//! half of the candidate materializations with a zero confirm-mismatch
+//! canary.
 //!
 //! Search outcomes must be bit-identical across thread counts, startup
 //! paths, *and* engines (asserted below), so every column is an
@@ -21,11 +25,14 @@
 //!
 //! Results are also written to `BENCH_search.json` (see
 //! `quartz_bench::report`) so CI archives one machine-readable perf
-//! artifact per run and the trajectory is diffable across commits.
+//! artifact per run and the trajectory is diffable across commits. With
+//! `--profile`, each engine's run additionally records a per-phase timing
+//! breakdown (match/delta/γ-precheck/canonicalize/fingerprint/dedup) as
+//! `profile/<engine>` suites.
 //!
 //! Usage: `cargo run --release -p quartz-bench --bin service_throughput
 //! [-- --quick | --scale full] [--timeout <secs>] [--n <n>] [--q <q>]
-//! [--threads <t>]`
+//! [--threads <t>] [--profile]`
 
 use quartz_bench::report::{BenchReport, BENCH_SEARCH_FILE};
 use quartz_bench::{build_ecc_set, library_artifact_path, GateSetKind, Scale};
@@ -64,6 +71,20 @@ struct EffortSummary {
     matches_recomputed: usize,
     cache_invalidate_nodes: usize,
     scoped_rematches: usize,
+    fp_fast_rejects: usize,
+    materializations_avoided: usize,
+    fp_confirm_mismatches: usize,
+    dedup_hits_materialized: usize,
+}
+
+/// Suite-wide structural-hash prefilter totals for one engine (DESIGN.md §9).
+#[derive(Debug, Clone, Copy)]
+struct FpSummary {
+    dedup_hits: usize,
+    fp_fast_rejects: usize,
+    materializations_avoided: usize,
+    fp_confirm_mismatches: usize,
+    dedup_hits_materialized: usize,
 }
 
 impl OutcomeSummary {
@@ -91,6 +112,10 @@ impl EffortSummary {
             matches_recomputed: result.matches_recomputed,
             cache_invalidate_nodes: result.cache_invalidate_nodes,
             scoped_rematches: result.scoped_rematches,
+            fp_fast_rejects: result.fp_fast_rejects,
+            materializations_avoided: result.materializations_avoided,
+            fp_confirm_mismatches: result.fp_confirm_mismatches,
+            dedup_hits_materialized: result.dedup_hits_materialized,
         }
     }
 }
@@ -105,6 +130,7 @@ fn main() {
     // `--quick` is the explicit spelling of the default scale (what the CI
     // bench-smoke job passes); Scale::from_args handles the rest.
     let scale = Scale::from_args(kind, &args);
+    let profile_enabled = args.iter().any(|a| a == "--profile");
     let max_threads = args
         .iter()
         .position(|a| a == "--threads")
@@ -195,7 +221,7 @@ fn main() {
         scale.max_iterations
     );
 
-    let config = |threads: usize, cached: bool| -> SearchConfig {
+    let config = |threads: usize, cached: bool, fp: bool| -> SearchConfig {
         // The iteration budget must be the binding constraint: runs cut off
         // by the wall clock are legitimately thread-count-dependent, which
         // would void the bit-identicality assertion below. Leave the timeout
@@ -205,16 +231,19 @@ fn main() {
             max_iterations: scale.max_iterations,
             num_threads: threads,
             cached_matches: cached,
+            incremental_fingerprints: fp,
+            profile: profile_enabled,
             ..SearchConfig::default()
         }
     };
     let run = |index: &Arc<quartz_opt::TransformationIndex>,
                threads: usize,
-               cached: bool|
+               cached: bool,
+               fp: bool|
      -> (Duration, Vec<SearchResult>) {
         let service = OptimizationService::new(Optimizer::with_index(
             Arc::clone(index),
-            config(threads, cached),
+            config(threads, cached, fp),
         ));
         let start = Instant::now();
         let results = service.optimize_batch(&batch);
@@ -238,12 +267,20 @@ fn main() {
         "Gates",
         "Speedup"
     );
+    // Engine matrix: the default engine, matching with the cache off, and
+    // deduplicating without the structural-hash prefilter.
+    const ENGINES: [(&str, bool, bool); 3] = [
+        ("cached", true, true),
+        ("uncached", false, true),
+        ("nofp", true, false),
+    ];
     let mut baseline_secs = 0.0;
     let mut outcome_baseline: Option<Vec<OutcomeSummary>> = None;
-    let mut effort_baselines: [Option<Vec<EffortSummary>>; 2] = [None, None];
-    let mut engine_secs: [Option<f64>; 2] = [None, None];
-    let mut engine_attempts: [Option<usize>; 2] = [None, None];
-    let mut engine_hit_rate: [Option<f64>; 2] = [None, None];
+    let mut effort_baselines: [Option<Vec<EffortSummary>>; 3] = [None, None, None];
+    let mut engine_secs: [Option<f64>; 3] = [None, None, None];
+    let mut engine_attempts: [Option<usize>; 3] = [None, None, None];
+    let mut engine_hit_rate: [Option<f64>; 3] = [None, None, None];
+    let mut fp_totals: [Option<FpSummary>; 3] = [None, None, None];
     for &threads in &thread_counts {
         let mut indexes: Vec<(&str, Arc<quartz_opt::TransformationIndex>)> =
             vec![("generated", Arc::clone(&generated))];
@@ -251,10 +288,8 @@ fn main() {
             indexes.push(("loaded", library.shared_index()));
         }
         for (label, index) in indexes {
-            for (engine_id, (engine, cached)) in
-                [("cached", true), ("uncached", false)].iter().enumerate()
-            {
-                let (elapsed, results) = run(&index, threads, *cached);
+            for (engine_id, (engine, cached, fp)) in ENGINES.iter().enumerate() {
+                let (elapsed, results) = run(&index, threads, *cached, *fp);
                 let secs = elapsed.as_secs_f64();
                 let total: usize = results.iter().map(|r| r.best_cost).sum();
                 let attempts = sum(&results, |r| r.match_attempts);
@@ -294,6 +329,24 @@ fn main() {
                     engine_secs[engine_id] = Some(secs);
                     engine_attempts[engine_id] = Some(attempts);
                     engine_hit_rate[engine_id] = Some(hit_rate);
+                    fp_totals[engine_id] = Some(FpSummary {
+                        dedup_hits: sum(&results, |r| r.dedup_hits),
+                        fp_fast_rejects: sum(&results, |r| r.fp_fast_rejects),
+                        materializations_avoided: sum(&results, |r| r.materializations_avoided),
+                        fp_confirm_mismatches: sum(&results, |r| r.fp_confirm_mismatches),
+                        dedup_hits_materialized: sum(&results, |r| r.dedup_hits_materialized),
+                    });
+                    if profile_enabled {
+                        let mut profile = quartz_opt::SearchProfile::default();
+                        for r in &results {
+                            profile.accumulate(&r.profile);
+                        }
+                        let suite = report.suite(&format!("profile/{engine}"));
+                        for (phase, phase_secs) in profile.phases() {
+                            suite.metric(&format!("{phase}_secs"), phase_secs);
+                        }
+                        suite.metric("total_secs", profile.total().as_secs_f64());
+                    }
                 }
 
                 println!(
@@ -321,6 +374,19 @@ fn main() {
                     .metric("matches_cached", cached_total as f64)
                     .metric("matches_recomputed", recomputed_total as f64)
                     .metric("cache_hit_rate", hit_rate)
+                    .metric("dedup_hits", sum(&results, |r| r.dedup_hits) as f64)
+                    .metric(
+                        "fp_fast_rejects",
+                        sum(&results, |r| r.fp_fast_rejects) as f64,
+                    )
+                    .metric(
+                        "materializations_avoided",
+                        sum(&results, |r| r.materializations_avoided) as f64,
+                    )
+                    .metric(
+                        "fp_confirm_mismatches",
+                        sum(&results, |r| r.fp_confirm_mismatches) as f64,
+                    )
                     .metric("total_best_cost", total as f64);
             }
         }
@@ -354,6 +420,66 @@ fn main() {
          ({:.1}x fewer), {:.1}% hit rate, {match_speedup:.2}x wall-time speedup at 1 thread",
         uncached_attempts as f64 / (cached_attempts as f64).max(1.0),
         100.0 * hit_rate,
+    );
+
+    // Acceptance (ISSUE 6): the structural-hash prefilter must avoid at
+    // least half of the duplicate materializations for identical results,
+    // with a zero confirm-mismatch canary; the nofp engine must never touch
+    // the fast path.
+    let fp_on = fp_totals[0].expect("default engine ran");
+    let fp_off = fp_totals[2].expect("nofp engine ran");
+    assert_eq!(
+        fp_on.dedup_hits,
+        fp_on.fp_fast_rejects + fp_on.dedup_hits_materialized,
+        "dedup accounting identity violated"
+    );
+    assert_eq!(
+        fp_on.fp_confirm_mismatches, 0,
+        "a first-sight candidate's structural hash collided with the seen set"
+    );
+    assert!(
+        fp_on.materializations_avoided * 2 >= fp_on.dedup_hits,
+        "prefilter must avoid at least half of all duplicate materializations: \
+         avoided {} of {} dedup hits",
+        fp_on.materializations_avoided,
+        fp_on.dedup_hits
+    );
+    assert_eq!(
+        (
+            fp_off.fp_fast_rejects,
+            fp_off.materializations_avoided,
+            fp_off.fp_confirm_mismatches
+        ),
+        (0, 0, 0),
+        "the nofp engine must not touch the structural-hash fast path"
+    );
+    assert_eq!(
+        fp_off.dedup_hits_materialized, fp_off.dedup_hits,
+        "without the prefilter every dedup hit pays materialization"
+    );
+    let avoided_rate = if fp_on.dedup_hits == 0 {
+        0.0
+    } else {
+        fp_on.materializations_avoided as f64 / fp_on.dedup_hits as f64
+    };
+    let fp_speedup = engine_secs[2].unwrap_or(0.0) / engine_secs[0].unwrap_or(1.0).max(1e-9);
+    report
+        .suite("fp_acceptance")
+        .metric("dedup_hits", fp_on.dedup_hits as f64)
+        .metric("fp_fast_rejects", fp_on.fp_fast_rejects as f64)
+        .metric(
+            "materializations_avoided",
+            fp_on.materializations_avoided as f64,
+        )
+        .metric("fp_confirm_mismatches", fp_on.fp_confirm_mismatches as f64)
+        .metric("materializations_avoided_rate", avoided_rate)
+        .metric("wall_time_speedup_1thread", fp_speedup);
+    println!(
+        "Structural-hash prefilter: avoided {} of {} duplicate materializations \
+         ({:.1}%), 0 confirm mismatches, {fp_speedup:.2}x wall-time speedup at 1 thread",
+        fp_on.materializations_avoided,
+        fp_on.dedup_hits,
+        100.0 * avoided_rate,
     );
 
     match report.write(BENCH_SEARCH_FILE) {

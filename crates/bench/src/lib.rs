@@ -529,6 +529,11 @@ mod tests {
             matches_recomputed: 0,
             cache_invalidate_nodes: 0,
             scoped_rematches: 0,
+            fp_fast_rejects: 0,
+            fp_confirm_mismatches: 0,
+            materializations_avoided: 0,
+            dedup_hits_materialized: 0,
+            profile: Default::default(),
         };
         let rows = vec![CircuitRow {
             name: "x",

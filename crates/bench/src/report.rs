@@ -53,6 +53,11 @@ impl BenchSuite {
     pub fn get(&self, key: &str) -> Option<f64> {
         self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
+
+    /// The metrics in insertion order.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), *v))
+    }
 }
 
 /// A benchmark report: which driver produced it, and its metric suites.
@@ -120,6 +125,91 @@ impl BenchReport {
         out
     }
 
+    /// The driver name the report is attributed to.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The suites in insertion order.
+    pub fn suites(&self) -> impl Iterator<Item = (&str, &BenchSuite)> {
+        self.suites.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// The suite named `name`, if recorded (read-only counterpart of
+    /// [`BenchReport::suite`]).
+    pub fn get_suite(&self, name: &str) -> Option<&BenchSuite> {
+        self.suites.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Decodes a report from the JSON shape [`BenchReport::to_json`] emits —
+    /// the flat two-level `source`/`schema_version`/`suites` structure with
+    /// numeric (or `null`) metric values. `null` metrics decode as NaN,
+    /// mirroring the encoder. Rejects anything structurally different with a
+    /// positioned error message; unknown top-level keys are an error too, so
+    /// a schema bump is loud rather than silently lossy.
+    pub fn parse(json: &str) -> Result<BenchReport, String> {
+        let mut p = Parser {
+            bytes: json.as_bytes(),
+            pos: 0,
+        };
+        let mut source: Option<String> = None;
+        let mut suites: Vec<(String, BenchSuite)> = Vec::new();
+        p.expect(b'{')?;
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "source" => source = Some(p.string()?),
+                "schema_version" => {
+                    let version = p.number()?;
+                    if version != 1.0 {
+                        return Err(format!("unsupported schema_version {version}"));
+                    }
+                }
+                "suites" => {
+                    p.expect(b'{')?;
+                    if !p.try_expect(b'}') {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(b':')?;
+                            let mut suite = BenchSuite::default();
+                            p.expect(b'{')?;
+                            if !p.try_expect(b'}') {
+                                loop {
+                                    let metric = p.string()?;
+                                    p.expect(b':')?;
+                                    suite.metric(&metric, p.number()?);
+                                    if !p.try_expect(b',') {
+                                        break;
+                                    }
+                                }
+                                p.expect(b'}')?;
+                            }
+                            suites.push((name, suite));
+                            if !p.try_expect(b',') {
+                                break;
+                            }
+                        }
+                        p.expect(b'}')?;
+                    }
+                }
+                other => return Err(format!("unknown top-level key {other:?}")),
+            }
+            if !p.try_expect(b',') {
+                break;
+            }
+        }
+        p.expect(b'}')?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(BenchReport {
+            source: source.ok_or("missing \"source\"")?,
+            suites,
+        })
+    }
+
     /// Writes the JSON encoding to `path`, replacing any previous report.
     pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let path = path.as_ref();
@@ -129,6 +219,115 @@ impl BenchReport {
                 format!("writing bench report {}: {e}", path.display()),
             )
         })
+    }
+}
+
+/// Cursor over the byte shape [`BenchReport::to_json`] produces: strings,
+/// numbers, `null`, and `{` `}` `:` `,` punctuation, whitespace-insensitive.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `token` after whitespace, or errors with the position.
+    fn expect(&mut self, token: u8) -> Result<(), String> {
+        if self.try_expect(token) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", token as char, self.pos))
+        }
+    }
+
+    /// Consumes `token` after whitespace if present; reports whether it did.
+    fn try_expect(&mut self, token: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let escape = self.bytes.get(self.pos + 1);
+                    self.pos += 2;
+                    match escape {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                Some(_) => {
+                    // Strings are valid UTF-8 (the input is &str); copy the
+                    // whole code point.
+                    let rest = &self.bytes[self.pos..];
+                    let c = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid UTF-8".to_string())?
+                        .chars()
+                        .next()
+                        .expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    /// A JSON number, or `null` (decoded as NaN, mirroring the encoder).
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii")
+            .parse::<f64>()
+            .map_err(|_| format!("expected a number at byte {start}"))
     }
 }
 
@@ -214,6 +413,44 @@ mod tests {
         assert!(report.is_empty());
         let json = report.to_json();
         assert!(json.contains("\"suites\": {}"));
+    }
+
+    #[test]
+    fn parse_round_trips_the_encoder() {
+        let mut report = BenchReport::new("round\"trip\n");
+        report
+            .suite("throughput/1")
+            .metric("circuits_per_sec", 12.5)
+            .metric("iterations", 320.0)
+            .metric("nan", f64::NAN);
+        report.suite("empty");
+        let back = BenchReport::parse(&report.to_json()).unwrap();
+        assert_eq!(back.source(), "round\"trip\n");
+        assert_eq!(back.len(), 2);
+        let suite = back.get_suite("throughput/1").unwrap();
+        assert_eq!(suite.get("circuits_per_sec"), Some(12.5));
+        assert_eq!(suite.get("iterations"), Some(320.0));
+        assert!(suite.get("nan").unwrap().is_nan());
+        assert!(back.get_suite("empty").unwrap().metrics().next().is_none());
+        // An empty report round-trips too.
+        let empty = BenchReport::new("none");
+        assert_eq!(BenchReport::parse(&empty.to_json()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(BenchReport::parse("").is_err());
+        assert!(BenchReport::parse("{}").is_err(), "missing source");
+        assert!(BenchReport::parse("{\"source\": \"x\"} trailing").is_err());
+        assert!(
+            BenchReport::parse("{\"source\": \"x\", \"extra\": 1}").is_err(),
+            "unknown keys are loud"
+        );
+        assert!(
+            BenchReport::parse("{\"source\": \"x\", \"schema_version\": 2, \"suites\": {}}")
+                .is_err(),
+            "future schema versions are loud"
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@
 //! metadata below is cheap and recomputed at load time.
 
 use crate::xform::Transformation;
-use quartz_ir::{Gate, GateHistogram, ALL_GATES};
+use quartz_ir::{FxHashMap, Gate, GateHistogram, ALL_GATES};
 
 /// Per-pattern metadata precomputed at index construction.
 #[derive(Debug, Clone)]
@@ -136,8 +136,10 @@ pub struct TransformationIndex {
     /// Transformation ids bucketed by every (predecessor, successor) gate
     /// type pair that is directly wire-adjacent in their pattern, each
     /// bucket ascending. The dirty-dispatch key for rewrites that bridge
-    /// two old nodes together. Derived, never serialized.
-    pair_buckets: std::collections::HashMap<GatePair, Vec<usize>>,
+    /// two old nodes together. Derived, never serialized. Keyed with the
+    /// deterministic in-tree FxHash (`quartz_ir::fx`): this map sits on the
+    /// dirty-dispatch hot path and its keys are tiny fixed-width pairs.
+    pair_buckets: FxHashMap<GatePair, Vec<usize>>,
     /// Largest target-pattern gate count — an upper bound on how far (in
     /// wire hops) any match can extend from a node it binds.
     max_pattern_len: usize,
@@ -176,8 +178,7 @@ impl TransformationIndex {
     fn assemble(transformations: Vec<Transformation>, buckets: Vec<Vec<usize>>) -> Self {
         let mut metas = Vec::with_capacity(transformations.len());
         let mut gate_buckets: Vec<Vec<usize>> = vec![Vec::new(); Gate::COUNT];
-        let mut pair_buckets: std::collections::HashMap<GatePair, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut pair_buckets: FxHashMap<GatePair, Vec<usize>> = FxHashMap::default();
         let mut max_pattern_len = 0usize;
         for (id, xform) in transformations.iter().enumerate() {
             let target = &xform.target;

@@ -18,6 +18,13 @@
 //!   (DESIGN.md §5);
 //! * [`GateSet`] — the Nam, IBM, Rigetti and Clifford+T gate sets of the
 //!   paper, and the enumeration of single-gate circuits;
+//! * [`StructuralHash`] — a commutation-invariant per-wire chain hash of
+//!   [`CircuitDag`]s (a complete invariant of the labeled DAG) with
+//!   touched-wires-only [`StructuralHash::preview`] /
+//!   [`StructuralHash::updated`] paths, the optimizer's duplicate-rejection
+//!   prefilter (DESIGN.md §9);
+//! * [`fx`] — a vendored deterministic FxHash-style hasher for interior
+//!   hash tables on the search hot path;
 //! * [`semantics`] — state-vector simulation, full unitaries, equivalence up
 //!   to global phase, and the fingerprinting of eq. (3);
 //! * [`qasm`] — an OpenQASM 2.0 subset parser and printer.
@@ -48,14 +55,17 @@
 
 mod circuit;
 pub mod dag;
+pub mod fx;
 mod gate;
 mod gateset;
 mod param;
 pub mod qasm;
 pub mod semantics;
+pub mod shash;
 
 pub use circuit::{Circuit, Instruction};
 pub use dag::{CircuitDag, NodeId, SpliceDelta, SpliceFootprint};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gate::{Gate, GateHistogram, ALL_GATES};
 pub use gateset::GateSet;
 pub use param::{ExprSpec, ParamExpr, UnsupportedAngleError};
@@ -64,3 +74,4 @@ pub use semantics::{
     apply_circuit, apply_instruction, basis_state, circuit_unitary, equivalent_up_to_phase,
     inner_product, FingerprintContext, StateVector,
 };
+pub use shash::StructuralHash;

@@ -1,0 +1,539 @@
+//! An order-invariant, incrementally updatable structural hash over
+//! [`CircuitDag`]s (DESIGN.md §9).
+//!
+//! The optimizer's seen-set keys circuits by `fingerprint(canonicalize(c))`:
+//! exact, but it requires *materializing* the candidate (applying the
+//! rewrite, re-sorting it into canonical order, and walking the whole
+//! sequence) — O(circuit) per candidate, and on realistic searches ~95% of
+//! γ-admissible candidates are duplicates that are immediately thrown away.
+//!
+//! [`StructuralHash`] is the incremental prefilter for that check. It hashes
+//! the *labeled DAG* rather than any particular sequence order: one ordered
+//! chain hash per qubit wire, folded over the contents (gate, operand wires,
+//! parameters) of the wire's instructions in wire order, combined with the
+//! qubit and parameter counts into a single 64-bit value.
+//!
+//! Per-wire content sequences are a **complete invariant** of the labeled
+//! DAG: an instruction's content includes its exact operand wires, and two
+//! same-content instructions must appear in the same relative order on every
+//! wire they share (the opposite order would be a cycle), so the wire
+//! sequences determine every wire adjacency. Every ingredient is a function
+//! of the DAG itself — never of node ids, slab layout, or the cached
+//! topological order — so **any two DAGs with the same canonical form hash
+//! identically**, and distinct canonical forms collide only with the
+//! ≈ 2⁻⁶⁴ probability of a chain-hash collision (the same risk class the
+//! 64-bit fingerprint seen-set already accepts).
+//!
+//! Completeness is not a luxury. An earlier design summed independent
+//! per-node terms over radius-1 wire neighborhoods — updatable in strict
+//! O(footprint), but *systematically* collision-prone: real NAM-gate-set
+//! searches reached pairs of distinct canonical forms that differ by two
+//! symmetric commutation moves (an Rz slid across a CNOT control at two
+//! sites with identical radius-1 surroundings, in opposite directions), and
+//! any commutative aggregation of bounded-radius terms is blind to exactly
+//! that — the first move shifts the term multiset by +Δ, the second by −Δ.
+//! Optimization benchmarks repeat their motifs, so those collisions happen
+//! in practice (14 times within 40 iterations on `barenco_tof_3`), at any
+//! fixed radius. Hashing each wire's full ordered sequence removes the
+//! entire class.
+//!
+//! A splice only rewrites the wires its region touches; every other wire
+//! keeps its content sequence bit-for-bit. [`StructuralHash::preview`]
+//! exploits this to compute the post-splice hash **without performing the
+//! splice** — it re-walks just the touched wires with the replacement
+//! simulated in place of the region, in O(total length of the touched
+//! wires), a small slice of the circuit and far below the materialize +
+//! canonicalize + fingerprint path it stands in for. [`StructuralHash::previewed`]
+//! returns the same result as a full carryable hash, and
+//! [`StructuralHash::updated`] re-derives the hash of an already-spliced
+//! child from its parent's.
+//!
+//! The hash is a prefilter, not an authority: the search layer keeps the
+//! materialized canonical fingerprint as the authoritative seen-set key.
+
+use crate::circuit::Instruction;
+use crate::dag::{CircuitDag, NodeId, SpliceDelta, SpliceFootprint};
+use std::collections::HashSet;
+
+/// FNV-1a offset basis (matches `Circuit::fingerprint`).
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (matches `Circuit::fingerprint`).
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Seed of every per-wire chain hash (an empty wire hashes to this).
+const CHAIN_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn mix(h: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *h ^= byte as u64;
+        *h = h.wrapping_mul(PRIME);
+    }
+}
+
+/// Finalization avalanche (splitmix64): spreads the combined value over all
+/// 64 bits.
+#[inline]
+fn finalize(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// FNV-1a hash of one instruction's content, byte-compatible in spirit with
+/// the per-instruction section of `Circuit::fingerprint`: gate index, qubit
+/// operands, then each parameter as (constant, length-prefixed coefficients).
+fn content_hash(instr: &Instruction) -> u64 {
+    let mut h = OFFSET;
+    mix(&mut h, instr.gate.index() as u64);
+    for &q in &instr.qubits {
+        mix(&mut h, q as u64);
+    }
+    for p in &instr.params {
+        mix(&mut h, p.const_pi4() as i64 as u64);
+        mix(&mut h, p.coeffs().len() as u64);
+        for &c in p.coeffs() {
+            mix(&mut h, c as i64 as u64);
+        }
+    }
+    h
+}
+
+/// Combines the per-wire chain hashes and the circuit shape into the final
+/// 64-bit value.
+fn combine(wires: &[u64], num_params: usize) -> u64 {
+    let mut h = OFFSET;
+    mix(&mut h, wires.len() as u64);
+    mix(&mut h, num_params as u64);
+    for &w in wires {
+        mix(&mut h, w);
+    }
+    finalize(h)
+}
+
+/// The order-invariant structural hash of a [`CircuitDag`], with incremental
+/// update and preview paths that touch only the wires a splice rewrites.
+///
+/// # Examples
+///
+/// Two sequence orders of the same DAG hash identically:
+///
+/// ```
+/// use quartz_ir::{Circuit, CircuitDag, Gate, Instruction, StructuralHash};
+///
+/// let mut a = Circuit::new(2, 0);
+/// a.push(Instruction::new(Gate::H, vec![0], vec![]));
+/// a.push(Instruction::new(Gate::X, vec![1], vec![]));
+/// let mut b = Circuit::new(2, 0);
+/// b.push(Instruction::new(Gate::X, vec![1], vec![]));
+/// b.push(Instruction::new(Gate::H, vec![0], vec![]));
+///
+/// let ha = StructuralHash::of(&CircuitDag::from_circuit(&a));
+/// let hb = StructuralHash::of(&CircuitDag::from_circuit(&b));
+/// assert_eq!(ha.value(), hb.value());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralHash {
+    /// Chain hash of each qubit wire's content sequence, in wire order.
+    wires: Vec<u64>,
+    num_params: usize,
+    total: u64,
+}
+
+impl StructuralHash {
+    /// Computes the hash of a DAG from scratch: one pass over a topological
+    /// order, folding each instruction's content into the chain of every
+    /// wire it touches. O(circuit). (Any topological order lists each wire's
+    /// instructions in wire order, so the chains are order-invariant.)
+    pub fn of(dag: &CircuitDag) -> Self {
+        let mut wires = vec![CHAIN_SEED; dag.num_qubits()];
+        for &id in dag.topo_order() {
+            let instr = dag.instruction(id);
+            debug_assert!(
+                !instr.qubits.is_empty(),
+                "the wire-chain hash requires every instruction to touch a wire"
+            );
+            let content = content_hash(instr);
+            for &q in &instr.qubits {
+                mix(&mut wires[q], content);
+            }
+        }
+        let total = combine(&wires, dag.num_params());
+        StructuralHash {
+            wires,
+            num_params: dag.num_params(),
+            total,
+        }
+    }
+
+    /// The 64-bit hash value.
+    pub fn value(&self) -> u64 {
+        self.total
+    }
+
+    /// The post-splice chain hash of every wire `delta` touches, as
+    /// `(wire, chain hash)` pairs in ascending wire order — computed by
+    /// re-walking each touched wire on the *unspliced* `dag` with the
+    /// replacement simulated in place of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a region node is not live. Region validity (convexity,
+    /// per-wire contiguity, replacement wires ⊆ region wires) is
+    /// debug-asserted; callers uphold it the same way they do for
+    /// [`CircuitDag::splice`].
+    fn spliced_chains(&self, dag: &CircuitDag, delta: &SpliceDelta) -> Vec<(usize, u64)> {
+        let region: HashSet<NodeId> = delta.region.iter().copied().collect();
+        // The touched wires, each with one region node on it to anchor the
+        // wire walk.
+        let mut anchors: Vec<(usize, NodeId)> = Vec::new();
+        for &id in &delta.region {
+            for &q in &dag.instruction(id).qubits {
+                if !anchors.iter().any(|&(w, _)| w == q) {
+                    anchors.push((q, id));
+                }
+            }
+        }
+        anchors.sort_unstable_by_key(|&(q, _)| q);
+        #[cfg(debug_assertions)]
+        for instr in &delta.replacement {
+            for &q in &instr.qubits {
+                debug_assert!(
+                    anchors.iter().any(|&(w, _)| w == q),
+                    "replacement uses wire q{q} outside the spliced region"
+                );
+            }
+        }
+        let rep_content: Vec<u64> = delta.replacement.iter().map(content_hash).collect();
+        let operand = |id: NodeId, q: usize| {
+            dag.instruction(id)
+                .qubits
+                .iter()
+                .position(|&iq| iq == q)
+                .expect("node is on the wire it was reached from")
+        };
+        anchors
+            .into_iter()
+            .map(|(q, anchor)| {
+                // Back up from the anchor to the head of wire q, then walk
+                // the wire front to back, substituting the replacement's
+                // instructions (in replacement order) for the region's.
+                let mut head = anchor;
+                while let Some(p) = dag.preds(head)[operand(head, q)] {
+                    head = p;
+                }
+                let mut h = CHAIN_SEED;
+                let mut cursor = Some(head);
+                // 0 = before the region, 1 = inside it, 2 = past it.
+                let mut phase = 0u8;
+                while let Some(id) = cursor {
+                    if region.contains(&id) {
+                        debug_assert!(phase != 2, "region is not contiguous on wire q{q}");
+                        if phase == 0 {
+                            phase = 1;
+                            for (i, instr) in delta.replacement.iter().enumerate() {
+                                if instr.qubits.contains(&q) {
+                                    mix(&mut h, rep_content[i]);
+                                }
+                            }
+                        }
+                    } else {
+                        if phase == 1 {
+                            phase = 2;
+                        }
+                        mix(&mut h, content_hash(dag.instruction(id)));
+                    }
+                    cursor = dag.succs(id)[operand(id, q)];
+                }
+                (q, h)
+            })
+            .collect()
+    }
+
+    /// The hash value the DAG *would* have after applying `delta` — computed
+    /// without mutating (or cloning) `dag`, in O(total length of the wires
+    /// the splice touches).
+    ///
+    /// `self` must be the hash of `dag`. Equals [`StructuralHash::of`] on
+    /// the spliced DAG (asserted by tests and debug-checked in the search
+    /// layer's confirm path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a region node of `delta` is not live in `dag`.
+    pub fn preview(&self, dag: &CircuitDag, delta: &SpliceDelta) -> u64 {
+        let patches = self.spliced_chains(dag, delta);
+        let mut h = OFFSET;
+        mix(&mut h, self.wires.len() as u64);
+        mix(&mut h, self.num_params as u64);
+        for (q, &w) in self.wires.iter().enumerate() {
+            match patches.iter().find(|&&(pq, _)| pq == q) {
+                Some(&(_, patched)) => mix(&mut h, patched),
+                None => mix(&mut h, w),
+            }
+        }
+        finalize(h)
+    }
+
+    /// The full successor hash [`StructuralHash::preview`] is the value of:
+    /// the hash the DAG would have after applying `delta`, carryable so the
+    /// successor's own previews need no O(circuit) rehash. Same cost and
+    /// same contract as `preview`.
+    pub fn previewed(&self, dag: &CircuitDag, delta: &SpliceDelta) -> StructuralHash {
+        let mut wires = self.wires.clone();
+        for (q, patched) in self.spliced_chains(dag, delta) {
+            wires[q] = patched;
+        }
+        let total = combine(&wires, self.num_params);
+        StructuralHash {
+            wires,
+            num_params: self.num_params,
+            total,
+        }
+    }
+
+    /// The hash of `child`, given that `child` was produced from `parent`
+    /// (whose hash is `self`) by the splice that reported `footprint`:
+    /// re-derives the chains of the touched wires (the wires of the removed
+    /// and inserted nodes) from `child`, reusing every other wire's chain.
+    /// Equals [`StructuralHash::of`] on `child`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a footprint node is not live in the DAG it is evaluated on
+    /// (removed nodes on `parent`, inserted nodes on `child`).
+    pub fn updated(
+        &self,
+        parent: &CircuitDag,
+        child: &CircuitDag,
+        footprint: &SpliceFootprint,
+    ) -> StructuralHash {
+        let mut touched: Vec<usize> = Vec::new();
+        let mut touch = |qubits: &[usize]| {
+            for &q in qubits {
+                if !touched.contains(&q) {
+                    touched.push(q);
+                }
+            }
+        };
+        for &id in &footprint.removed {
+            touch(&parent.instruction(id).qubits);
+        }
+        for &id in &footprint.inserted {
+            touch(&child.instruction(id).qubits);
+        }
+        let mut wires = self.wires.clone();
+        for &q in &touched {
+            wires[q] = CHAIN_SEED;
+        }
+        for &id in child.topo_order() {
+            let instr = child.instruction(id);
+            if instr.qubits.iter().any(|q| touched.contains(q)) {
+                let content = content_hash(instr);
+                for &q in &instr.qubits {
+                    if touched.contains(&q) {
+                        mix(&mut wires[q], content);
+                    }
+                }
+            }
+        }
+        let total = combine(&wires, self.num_params);
+        StructuralHash {
+            wires,
+            num_params: self.num_params,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::Gate;
+    use crate::param::ParamExpr;
+
+    fn h(q: usize) -> Instruction {
+        Instruction::new(Gate::H, vec![q], vec![])
+    }
+
+    fn x(q: usize) -> Instruction {
+        Instruction::new(Gate::X, vec![q], vec![])
+    }
+
+    fn cnot(c: usize, t: usize) -> Instruction {
+        Instruction::new(Gate::Cnot, vec![c, t], vec![])
+    }
+
+    fn rz(q: usize, quarters: i32) -> Instruction {
+        Instruction::new(Gate::Rz, vec![q], vec![ParamExpr::constant_pi4(quarters)])
+    }
+
+    fn circuit(nq: usize, instrs: Vec<Instruction>) -> Circuit {
+        let mut c = Circuit::new(nq, 0);
+        for i in instrs {
+            c.push(i);
+        }
+        c
+    }
+
+    fn shash(c: &Circuit) -> u64 {
+        StructuralHash::of(&CircuitDag::from_circuit(c)).value()
+    }
+
+    /// Commuting-disjoint reorderings are the same DAG and must hash
+    /// identically, independent of NodeId assignment and sequence order.
+    #[test]
+    fn disjoint_reorderings_hash_identically() {
+        let a = circuit(3, vec![h(0), x(1), h(2)]);
+        let b = circuit(3, vec![h(2), h(0), x(1)]);
+        let c = circuit(3, vec![x(1), h(2), h(0)]);
+        assert_eq!(shash(&a), shash(&b));
+        assert_eq!(shash(&b), shash(&c));
+    }
+
+    /// Different gates, operand orders, or widths must hash apart.
+    #[test]
+    fn inequivalent_circuits_hash_apart() {
+        let base_c = circuit(2, vec![h(0), x(1)]);
+        assert_ne!(shash(&base_c), shash(&circuit(2, vec![h(0), h(1)])));
+        assert_ne!(shash(&base_c), shash(&circuit(2, vec![h(1), x(0)])));
+        assert_ne!(shash(&base_c), shash(&circuit(3, vec![h(0), x(1)])));
+        assert_ne!(shash(&circuit(1, vec![])), shash(&circuit(2, vec![])));
+        // Parameter values discriminate.
+        assert_ne!(
+            shash(&circuit(1, vec![rz(0, 1)])),
+            shash(&circuit(1, vec![rz(0, 2)]))
+        );
+    }
+
+    /// The case that defeats a content-only hash: H·B·H·C·H vs H·C·H·B·H on
+    /// wire 0, with B = cnot(0,1) and C = cnot(0,2). Both circuits have the
+    /// same node-content *multiset*; only wire 0's order tells them apart.
+    #[test]
+    fn wire_order_discriminates_equal_content_multisets() {
+        let a = circuit(3, vec![h(0), cnot(0, 1), h(0), cnot(0, 2), h(0)]);
+        let b = circuit(3, vec![h(0), cnot(0, 2), h(0), cnot(0, 1), h(0)]);
+        assert_ne!(shash(&a), shash(&b));
+    }
+
+    /// Regression for the collision class that sank the radius-1 term-sum
+    /// design: two canonical forms that differ by *two* symmetric
+    /// commutation moves (an Rz slid across a CNOT control at two sites
+    /// with identical bounded-radius surroundings, in opposite directions)
+    /// preserve any bounded-radius term multiset, but not the wire
+    /// sequences. Observed live on `barenco_tof_3` under NAM rewrites.
+    #[test]
+    fn symmetric_commutation_move_pairs_hash_apart() {
+        let block = |early: bool| {
+            let mut seq = vec![cnot(1, 2)];
+            if early {
+                seq.push(rz(1, 1));
+            }
+            seq.extend([rz(2, -1), cnot(0, 2), rz(2, 1), cnot(1, 2)]);
+            if !early {
+                seq.push(rz(1, 1));
+            }
+            seq
+        };
+        let mut a = block(true);
+        a.extend(block(false));
+        let mut b = block(false);
+        b.extend(block(true));
+        assert_ne!(shash(&circuit(3, a)), shash(&circuit(3, b)));
+    }
+
+    /// `preview`/`previewed` equal a from-scratch hash of the actually
+    /// spliced DAG, and `updated` tracks it, across a chain of splices that
+    /// exercise slot reuse, multi-wire regions, empty replacements, and
+    /// bridged wires.
+    #[test]
+    fn preview_and_updated_match_from_scratch_hashes() {
+        let c = circuit(3, vec![h(0), cnot(0, 1), rz(1, 2), cnot(1, 2), h(2)]);
+        let mut dag = CircuitDag::from_circuit(&c);
+        let mut hash = StructuralHash::of(&dag);
+
+        let deltas: Vec<SpliceDelta> = vec![
+            // Replace the middle rz by two rz's (wire 1 only).
+            SpliceDelta {
+                region: vec![dag.topo_order()[2]],
+                replacement: vec![rz(1, 1), rz(1, 1)],
+            },
+        ];
+        for delta in &deltas {
+            let previewed = hash.preview(&dag, delta);
+            let full = hash.previewed(&dag, delta);
+            let parent = dag.clone();
+            let footprint = dag.splice_with_footprint(delta);
+            dag.validate().unwrap();
+            let from_scratch = StructuralHash::of(&dag);
+            assert_eq!(previewed, from_scratch.value(), "preview diverged");
+            assert_eq!(full, from_scratch, "previewed diverged");
+            hash = hash.updated(&parent, &dag, &footprint);
+            assert_eq!(hash, from_scratch, "updated diverged");
+        }
+
+        // Remove a two-node region spanning wires 0..2 with an empty
+        // replacement (bridges wires, boundary rewired on several sides).
+        let ids = dag.topo_order().to_vec();
+        let delta = SpliceDelta {
+            region: vec![ids[1], ids[2]], // cnot(0,1); rz(1,1)
+            replacement: vec![],
+        };
+        let previewed = hash.preview(&dag, &delta);
+        let full = hash.previewed(&dag, &delta);
+        let parent = dag.clone();
+        let footprint = dag.splice_with_footprint(&delta);
+        dag.validate().unwrap();
+        let from_scratch = StructuralHash::of(&dag);
+        assert_eq!(previewed, from_scratch.value());
+        assert_eq!(full, from_scratch);
+        hash = hash.updated(&parent, &dag, &footprint);
+        assert_eq!(hash, from_scratch);
+
+        // Replace a cnot by a cnot the other way (slot reuse, same wires).
+        let ids = dag.topo_order().to_vec();
+        let cx = ids
+            .iter()
+            .find(|&&id| dag.instruction(id).gate == Gate::Cnot)
+            .copied()
+            .expect("a cnot survives");
+        let delta = SpliceDelta {
+            region: vec![cx],
+            replacement: vec![cnot(2, 1), h(1)],
+        };
+        let previewed = hash.preview(&dag, &delta);
+        let full = hash.previewed(&dag, &delta);
+        let parent = dag.clone();
+        let footprint = dag.splice_with_footprint(&delta);
+        dag.validate().unwrap();
+        let from_scratch = StructuralHash::of(&dag);
+        assert_eq!(previewed, from_scratch.value());
+        assert_eq!(full, from_scratch);
+        hash = hash.updated(&parent, &dag, &footprint);
+        assert_eq!(hash, from_scratch);
+    }
+
+    /// The hash is invariant under where nodes live in the slab: building
+    /// the same circuit via different splice histories gives the same value.
+    #[test]
+    fn hash_ignores_slab_layout_and_topo_caching() {
+        // Path A: direct construction.
+        let target = circuit(2, vec![h(0), cnot(0, 1), h(1)]);
+        let direct = shash(&target);
+
+        // Path B: build a larger circuit, then splice it down to the target.
+        let start = circuit(2, vec![h(0), x(0), x(0), cnot(0, 1), h(1)]);
+        let mut dag = CircuitDag::from_circuit(&start);
+        let ids = dag.topo_order().to_vec();
+        dag.splice(&SpliceDelta {
+            region: vec![ids[1], ids[2]],
+            replacement: vec![],
+        });
+        dag.validate().unwrap();
+        assert_eq!(StructuralHash::of(&dag).value(), direct);
+    }
+}

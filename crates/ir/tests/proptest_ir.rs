@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use quartz_ir::{
     circuit_unitary, equivalent_up_to_phase, Circuit, CircuitDag, FingerprintContext, Gate,
-    GateSet, Instruction, ParamExpr,
+    GateSet, Instruction, ParamExpr, SpliceDelta, StructuralHash,
 };
 
 /// Strategy producing a random instruction over `nq` qubits and `m` params
@@ -232,4 +232,103 @@ proptest! {
         }
         prop_assert_eq!(instrs.len(), GateSet::nam().characteristic(nq, &spec));
     }
+
+    /// The structural hash is a function of the circuit *DAG*: any
+    /// topological reorder of the sequence (different NodeId assignment,
+    /// different cached topo order) must hash identically — the
+    /// order-invariance half of the seen-set prefilter soundness argument
+    /// (DESIGN.md §9).
+    #[test]
+    fn structural_hash_is_order_invariant(
+        c in arb_circuit(3, 1, 10),
+        picks in prop::collection::vec(0usize..64, 16),
+    ) {
+        let reordered = topological_reorder(&c, &picks);
+        let a = StructuralHash::of(&CircuitDag::from_circuit(&c));
+        let b = StructuralHash::of(&CircuitDag::from_circuit(&reordered));
+        prop_assert_eq!(a.value(), b.value());
+    }
+
+    /// `preview` (no mutation) and `updated` (after the splice) must both
+    /// agree with a from-scratch hash of the spliced DAG, across chains of
+    /// random single-node splices — covering empty replacements (bridged
+    /// wires), same-footprint replacements (slot reuse), and wire-subset
+    /// replacements.
+    #[test]
+    fn structural_hash_preview_and_update_track_random_splices(
+        c in arb_circuit(3, 0, 10),
+        steps in prop::collection::vec((0usize..64, 0usize..4), 1..6),
+    ) {
+        let mut dag = CircuitDag::from_circuit(&c);
+        let mut hash = StructuralHash::of(&dag);
+        for (pick, shape) in steps {
+            if dag.gate_count() == 0 {
+                break;
+            }
+            let id = dag.topo_order()[pick % dag.gate_count()];
+            let qubits = dag.instruction(id).qubits.clone();
+            // A replacement drawn from the region's own wires.
+            let replacement: Vec<Instruction> = match shape {
+                0 => vec![],
+                1 => vec![dag.instruction(id).clone()],
+                2 => qubits
+                    .iter()
+                    .map(|&q| Instruction::new(Gate::H, vec![q], vec![]))
+                    .collect(),
+                _ => {
+                    if qubits.len() == 2 {
+                        vec![Instruction::new(
+                            Gate::Cnot,
+                            vec![qubits[1], qubits[0]],
+                            vec![],
+                        )]
+                    } else {
+                        vec![Instruction::new(Gate::X, vec![qubits[0]], vec![])]
+                    }
+                }
+            };
+            let delta = SpliceDelta { region: vec![id], replacement };
+            let previewed = hash.preview(&dag, &delta);
+            let parent = dag.clone();
+            let footprint = dag.splice_with_footprint(&delta);
+            prop_assert_eq!(dag.validate(), Ok(()));
+            let from_scratch = StructuralHash::of(&dag);
+            prop_assert_eq!(previewed, from_scratch.value());
+            hash = hash.updated(&parent, &dag, &footprint);
+            prop_assert_eq!(hash.value(), from_scratch.value());
+        }
+    }
+}
+
+/// Rebuilds `circuit` in a different topological order of its wire DAG
+/// (Kahn's algorithm, tie-broken by `picks`). The result represents the
+/// same circuit DAG by construction.
+fn topological_reorder(circuit: &Circuit, picks: &[usize]) -> Circuit {
+    let instrs = circuit.instructions();
+    let preds = circuit.wire_predecessors();
+    let n = instrs.len();
+    let mut indegree = vec![0usize; n];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for p in ps.iter().flatten() {
+            indegree[i] += 1;
+            successors[*p].push(i);
+        }
+    }
+    let mut available: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    let mut step = 0usize;
+    while !available.is_empty() {
+        let pick = picks.get(step % picks.len().max(1)).copied().unwrap_or(0) % available.len();
+        step += 1;
+        let chosen = available.swap_remove(pick);
+        out.push(instrs[chosen].clone());
+        for &s in &successors[chosen] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                available.push(s);
+            }
+        }
+    }
+    out
 }

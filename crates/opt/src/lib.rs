@@ -72,6 +72,6 @@ pub use preprocess::{
     nam_to_rigetti, preprocess_ibm, preprocess_nam, preprocess_rigetti, toffoli_decomposition,
 };
 pub use quartz_gen::TransformationIndex;
-pub use search::{Optimizer, SearchConfig, SearchResult};
+pub use search::{Optimizer, SearchConfig, SearchProfile, SearchResult};
 pub use service::{OptimizationService, ServiceEvent};
 pub use xform::{canonicalize, transformations_from_ecc_set, Transformation};

@@ -54,12 +54,12 @@ use crate::match_cache::{CacheStats, MatchCache};
 use crate::matcher::{Match, MatchContext};
 use crate::xform::{canonicalize, Transformation};
 use quartz_gen::{IndexScratch, TransformationIndex};
-use quartz_ir::{Circuit, SpliceDelta};
+use quartz_ir::{Circuit, FxHashSet, SpliceDelta, StructuralHash};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -113,6 +113,24 @@ pub struct SearchConfig {
     /// indexed incremental engine, so it is effective only when `use_index`
     /// and `incremental_contexts` are both `true`.
     pub cached_matches: bool,
+    /// When `true` (the default), duplicate candidates are rejected by an
+    /// O(rewrite footprint) order-invariant structural-hash preview
+    /// ([`StructuralHash::preview`]) *before* they are materialized: the
+    /// `canonicalize` + [`Circuit::fingerprint`] work — the dominant
+    /// per-candidate cost — runs only for first-sight candidates. The
+    /// materialized canonical fingerprint remains the authoritative seen-set
+    /// key, so results are bit-identical with the flag off (DESIGN.md §9).
+    /// Effective only for gate-additive cost models (everything but
+    /// [`CostModel::Depth`], whose candidates must be materialized to be
+    /// costed anyway). `false` materializes every γ-admissible candidate —
+    /// same results, more work — kept for benchmarking and as a safety
+    /// valve.
+    pub incremental_fingerprints: bool,
+    /// When `true`, per-phase wall-clock timings (matching, delta
+    /// construction, γ-precheck, canonicalization, fingerprinting,
+    /// deduplication) are accumulated into [`SearchResult::profile`].
+    /// Default `false`: the hot path then executes no timing calls at all.
+    pub profile: bool,
 }
 
 impl Default for SearchConfig {
@@ -129,6 +147,8 @@ impl Default for SearchConfig {
             use_index: true,
             incremental_contexts: true,
             cached_matches: true,
+            incremental_fingerprints: true,
+            profile: false,
         }
     }
 }
@@ -150,6 +170,69 @@ impl SearchConfig {
         } else {
             self.num_threads
         }
+    }
+}
+
+/// Per-phase wall-clock breakdown of one search run, accumulated only when
+/// [`SearchConfig::profile`] is on (all-zero otherwise). The phases cover
+/// the per-candidate pipeline of `expand_entry`: finding matches, building
+/// splice deltas, the additive γ-precheck, materializing + canonicalizing
+/// survivors, fingerprinting them, and the seen-set probes (including the
+/// O(footprint) structural-hash preview of the incremental-fingerprint
+/// path, which is deduplication work by nature).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchProfile {
+    /// Enumerating structural matches: cache consultation, convexity
+    /// re-validation, and matcher runs (everything in the dispatch loop
+    /// that is not attributed to a finer phase below).
+    pub matching: Duration,
+    /// Building the instantiated [`SpliceDelta`] of each match.
+    pub delta: Duration,
+    /// The additive-cost γ-precheck that rejects cost-increasing rewrites
+    /// before materialization.
+    pub gamma_precheck: Duration,
+    /// Applying the delta and canonicalizing the successor circuit — the
+    /// work [`SearchResult::materializations_avoided`] counts as skipped.
+    pub canonicalize: Duration,
+    /// Fingerprinting materialized canonical forms.
+    pub fingerprint: Duration,
+    /// Seen-set probes: the structural-hash preview + fast-reject check and
+    /// the authoritative fingerprint lookups.
+    pub dedup: Duration,
+}
+
+impl SearchProfile {
+    /// Adds another profile's phase times into this one.
+    pub fn accumulate(&mut self, other: &SearchProfile) {
+        self.matching += other.matching;
+        self.delta += other.delta;
+        self.gamma_precheck += other.gamma_precheck;
+        self.canonicalize += other.canonicalize;
+        self.fingerprint += other.fingerprint;
+        self.dedup += other.dedup;
+    }
+
+    /// Sum of all phase times.
+    pub fn total(&self) -> Duration {
+        self.matching
+            + self.delta
+            + self.gamma_precheck
+            + self.canonicalize
+            + self.fingerprint
+            + self.dedup
+    }
+
+    /// (name, seconds) pairs for every phase, in pipeline order — the shape
+    /// benchmark reports emit.
+    pub fn phases(&self) -> [(&'static str, f64); 6] {
+        [
+            ("matching", self.matching.as_secs_f64()),
+            ("delta", self.delta.as_secs_f64()),
+            ("gamma_precheck", self.gamma_precheck.as_secs_f64()),
+            ("canonicalize", self.canonicalize.as_secs_f64()),
+            ("fingerprint", self.fingerprint.as_secs_f64()),
+            ("dedup", self.dedup.as_secs_f64()),
+        ]
     }
 }
 
@@ -206,6 +289,31 @@ pub struct SearchResult {
     /// bucket sizes, not the circuit, which is why they are accounted
     /// separately from the full-circuit `match_attempts`.
     pub scoped_rematches: usize,
+    /// Duplicate candidates rejected by the O(footprint) structural-hash
+    /// preview *before* materialization (DESIGN.md §9). A subset of
+    /// [`SearchResult::dedup_hits`]; always 0 with
+    /// `incremental_fingerprints: false` or a non-additive cost model.
+    pub fp_fast_rejects: usize,
+    /// `canonicalize` + `fingerprint` materializations the fast-reject path
+    /// skipped — one per fast reject, the work a materializing engine would
+    /// have spent on the same candidate.
+    pub materializations_avoided: usize,
+    /// Candidates whose structural-hash preview claimed *first sight* but
+    /// whose materialized canonical fingerprint was already in the seen-set.
+    /// By the invariance argument of DESIGN.md §9 (equal canonical forms
+    /// hash equally) this cannot happen; the counter is a runtime canary
+    /// and is asserted 0 by the benchmark suites.
+    pub fp_confirm_mismatches: usize,
+    /// Duplicate candidates that were detected only *after* materialization:
+    /// worker-side fingerprint confirmations plus merge-time seen-set hits.
+    /// Disjoint from [`SearchResult::fp_fast_rejects`] by increment site, so
+    /// `dedup_hits == fp_fast_rejects + dedup_hits_materialized` is an
+    /// accounting identity (asserted by tests and the bench suites). With
+    /// the fast path off, equals `dedup_hits`.
+    pub dedup_hits_materialized: usize,
+    /// Per-phase timing breakdown; all-zero unless [`SearchConfig::profile`]
+    /// was on.
+    pub profile: SearchProfile,
 }
 
 impl SearchResult {
@@ -252,6 +360,18 @@ impl SearchResult {
             self.matches_cached as f64 / total as f64
         }
     }
+
+    /// Fraction of duplicate candidates rejected by the O(footprint)
+    /// structural-hash preview instead of after materialization, in [0, 1]
+    /// (0 when no duplicates were seen at all — e.g. an empty run — or with
+    /// `incremental_fingerprints: false`).
+    pub fn fp_fast_reject_rate(&self) -> f64 {
+        if self.dedup_hits == 0 {
+            0.0
+        } else {
+            self.fp_fast_rejects as f64 / self.dedup_hits as f64
+        }
+    }
 }
 
 /// The matching state one expansion materialized and shares with any of its
@@ -282,6 +402,13 @@ pub(crate) struct QueueEntry {
     order: usize,
     circuit: Circuit,
     ctx: CtxSource,
+    /// The circuit's [`StructuralHash`], threaded from the preview that
+    /// admitted it so its own expansion can preview *its* successors
+    /// without an O(circuit) rehash. `None` when the incremental-fingerprint
+    /// path is inactive for the run (the expansion then skips the fast
+    /// path), or for frontier roots (which rehash from scratch, exactly as
+    /// they rebuild their match context).
+    shash: Option<StructuralHash>,
 }
 
 impl PartialEq for QueueEntry {
@@ -316,6 +443,10 @@ struct Candidate {
     fingerprint: u64,
     cost: usize,
     delta: SpliceDelta,
+    /// Structural hash of `circuit`, derived incrementally from the parent's
+    /// hash (`Some` exactly when the incremental-fingerprint path is active
+    /// for the run).
+    shash: Option<StructuralHash>,
 }
 
 /// Everything a worker produced for one dequeued circuit.
@@ -333,6 +464,9 @@ pub(crate) struct Expansion {
     matches_recomputed: usize,
     cache_invalidate_nodes: usize,
     scoped_rematches: usize,
+    fp_fast_rejects: usize,
+    fp_confirm_mismatches: usize,
+    profile: SearchProfile,
 }
 
 /// The per-circuit state of one search: the priority queue, the fingerprint
@@ -346,7 +480,15 @@ pub(crate) struct Expansion {
 /// per-circuit service results bit-identical to standalone runs.
 pub(crate) struct Frontier {
     queue: BinaryHeap<QueueEntry>,
-    seen: HashSet<u64>,
+    /// Canonical fingerprints of every circuit ever enqueued — the
+    /// authoritative deduplication key.
+    seen: FxHashSet<u64>,
+    /// Structural-hash values of the same circuits, kept in lock-step with
+    /// `seen` (same canonical form ⟹ same structural hash, so a merge-time
+    /// duplicate's hash is already present and needs no insert). Workers
+    /// probe a frozen snapshot of this set to reject duplicates in
+    /// O(footprint) before materializing them (DESIGN.md §9).
+    seen_fast: FxHashSet<u64>,
     best_circuit: Circuit,
     best_cost: usize,
     initial_cost: usize,
@@ -361,6 +503,10 @@ pub(crate) struct Frontier {
     matches_recomputed: usize,
     cache_invalidate_nodes: usize,
     scoped_rematches: usize,
+    fp_fast_rejects: usize,
+    fp_confirm_mismatches: usize,
+    dedup_hits_materialized: usize,
+    profile: SearchProfile,
     improvement_trace: Vec<(Duration, usize)>,
 }
 
@@ -369,18 +515,26 @@ impl Frontier {
     pub(crate) fn new(input: &Circuit, cost_model: CostModel) -> Self {
         let initial_cost = cost_model.cost(input);
         let canonical_input = canonicalize(input);
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         seen.insert(canonical_input.fingerprint());
+        // Seed the fast seen-set in lock-step: O(circuit), once per search,
+        // like the root's context rebuild.
+        let mut seen_fast = FxHashSet::default();
+        seen_fast.insert(
+            StructuralHash::of(&quartz_ir::CircuitDag::from_circuit(&canonical_input)).value(),
+        );
         let mut queue = BinaryHeap::new();
         queue.push(QueueEntry {
             cost: initial_cost,
             order: 0,
             circuit: canonical_input.clone(),
             ctx: CtxSource::Root,
+            shash: None,
         });
         Frontier {
             queue,
             seen,
+            seen_fast,
             best_circuit: canonical_input,
             best_cost: initial_cost,
             initial_cost,
@@ -395,6 +549,10 @@ impl Frontier {
             matches_recomputed: 0,
             cache_invalidate_nodes: 0,
             scoped_rematches: 0,
+            fp_fast_rejects: 0,
+            fp_confirm_mismatches: 0,
+            dedup_hits_materialized: 0,
+            profile: SearchProfile::default(),
             improvement_trace: vec![(Duration::ZERO, initial_cost)],
         }
     }
@@ -410,8 +568,14 @@ impl Frontier {
     }
 
     /// The fingerprints of every circuit ever enqueued.
-    pub(crate) fn seen(&self) -> &HashSet<u64> {
+    pub(crate) fn seen(&self) -> &FxHashSet<u64> {
         &self.seen
+    }
+
+    /// The structural-hash values of every circuit ever enqueued (the fast
+    /// prefilter mirror of [`Frontier::seen`]).
+    pub(crate) fn seen_fast(&self) -> &FxHashSet<u64> {
+        &self.seen_fast
     }
 
     /// Improvement trace recorded so far (grows during [`Frontier::merge`]).
@@ -459,6 +623,13 @@ impl Frontier {
         self.matches_recomputed += expansion.matches_recomputed;
         self.cache_invalidate_nodes += expansion.cache_invalidate_nodes;
         self.scoped_rematches += expansion.scoped_rematches;
+        self.fp_fast_rejects += expansion.fp_fast_rejects;
+        self.fp_confirm_mismatches += expansion.fp_confirm_mismatches;
+        // Every worker-side dedup hit that was not a fast reject was
+        // detected on a materialized candidate (the accounting identity of
+        // DESIGN.md §9).
+        self.dedup_hits_materialized += expansion.dedup_hits - expansion.fp_fast_rejects;
+        self.profile.accumulate(&expansion.profile);
         if expansion.rebuilt {
             self.ctx_rebuilds += 1;
         } else {
@@ -466,7 +637,12 @@ impl Frontier {
         }
         for candidate in expansion.candidates {
             if self.seen.contains(&candidate.fingerprint) {
+                // A merge-time duplicate (enqueued by an earlier expansion
+                // of this batch) was necessarily materialized. Its
+                // structural hash equals the earlier copy's — same canonical
+                // form, same hash — so `seen_fast` already covers it.
                 self.dedup_hits += 1;
+                self.dedup_hits_materialized += 1;
                 continue;
             }
             if (candidate.cost as f64) < config.gamma * self.best_cost as f64 {
@@ -478,6 +654,9 @@ impl Frontier {
                 }
                 self.order += 1;
                 self.seen.insert(candidate.fingerprint);
+                if let Some(hash) = &candidate.shash {
+                    self.seen_fast.insert(hash.value());
+                }
                 let ctx = if config.incremental_contexts {
                     CtxSource::Derived {
                         parent: Arc::clone(&expansion.state),
@@ -491,6 +670,7 @@ impl Frontier {
                     order: self.order,
                     circuit: candidate.circuit,
                     ctx,
+                    shash: candidate.shash,
                 });
             }
         }
@@ -528,6 +708,11 @@ impl Frontier {
             matches_recomputed: self.matches_recomputed,
             cache_invalidate_nodes: self.cache_invalidate_nodes,
             scoped_rematches: self.scoped_rematches,
+            fp_fast_rejects: self.fp_fast_rejects,
+            materializations_avoided: self.fp_fast_rejects,
+            fp_confirm_mismatches: self.fp_confirm_mismatches,
+            dedup_hits_materialized: self.dedup_hits_materialized,
+            profile: self.profile,
         }
     }
 }
@@ -658,7 +843,7 @@ impl Optimizer {
             // frozen seen-set is still in it at merge time.
             let frozen_best = frontier.best_cost();
             let expansions = expand_in_order(&batch, num_threads, |entry| {
-                self.expand_entry(entry, frozen_best, frontier.seen())
+                self.expand_entry(entry, frozen_best, frontier.seen(), frontier.seen_fast())
             });
 
             // Deterministic merge in batch (priority) order; with
@@ -691,7 +876,8 @@ impl Optimizer {
         &self,
         entry: &QueueEntry,
         frozen_best: usize,
-        seen: &HashSet<u64>,
+        seen: &FxHashSet<u64>,
+        seen_fast: &FxHashSet<u64>,
     ) -> Expansion {
         // Per-thread scratch: the index dispatch's visited set and the
         // candidate-id buffer, reused across dequeues so the hot loop
@@ -702,7 +888,7 @@ impl Optimizer {
         }
         SCRATCH.with(|scratch| {
             let (index_scratch, ids) = &mut *scratch.borrow_mut();
-            self.expand_entry_with_scratch(entry, frozen_best, seen, index_scratch, ids)
+            self.expand_entry_with_scratch(entry, frozen_best, seen, seen_fast, index_scratch, ids)
         })
     }
 
@@ -710,7 +896,8 @@ impl Optimizer {
         &self,
         entry: &QueueEntry,
         frozen_best: usize,
-        seen: &HashSet<u64>,
+        seen: &FxHashSet<u64>,
+        seen_fast: &FxHashSet<u64>,
         index_scratch: &mut IndexScratch,
         ids: &mut Vec<usize>,
     ) -> Expansion {
@@ -794,6 +981,10 @@ impl Optimizer {
         let skips = total - ids.len();
         let mut dedup_hits = 0usize;
         let mut matches_cached = 0usize;
+        let mut fp_fast_rejects = 0usize;
+        let mut fp_confirm_mismatches = 0usize;
+        let profiling = self.config.profile;
+        let mut profile = SearchProfile::default();
         let cost_model = self.config.cost_model;
         let gamma = self.config.gamma;
         // For gate-additive cost models a candidate's cost is the parent's
@@ -804,10 +995,31 @@ impl Optimizer {
         let additive_parent_cost: Option<usize> = cost_model
             .is_additive()
             .then(|| cost_model.cost(&entry.circuit));
+        // The incremental-fingerprint fast path rides the additive precheck:
+        // for non-additive models every candidate must be materialized to be
+        // costed anyway, so a pre-materialization seen-probe would change
+        // which rejects count as `dedup_hits` (γ filtering happens after
+        // materialization there) without saving any work.
+        let parent_shash: Option<StructuralHash> =
+            (self.config.incremental_fingerprints && additive_parent_cost.is_some()).then(|| {
+                match &entry.shash {
+                    // Threaded from the preview that admitted this entry.
+                    Some(hash) => hash.clone(),
+                    // Frontier root: one O(circuit) rehash, like the
+                    // context rebuild.
+                    None => StructuralHash::of(state.ctx.dag()),
+                }
+            });
         let mut consider = |ctx: &MatchContext, xform: &Transformation, m: &Match| {
-            let Some(delta) = ctx.delta_for(xform, m) else {
+            let t_delta = profiling.then(Instant::now);
+            let delta = ctx.delta_for(xform, m);
+            if let Some(t) = t_delta {
+                profile.delta += t.elapsed();
+            }
+            let Some(delta) = delta else {
                 return;
             };
+            let t_gamma = profiling.then(Instant::now);
             let precomputed_cost = additive_parent_cost.map(|parent| {
                 let removed: usize = delta
                     .region
@@ -825,12 +1037,44 @@ impl Optimizer {
                     .sum();
                 parent + added - removed
             });
-            if let Some(cost) = precomputed_cost {
-                if (cost as f64) >= gamma * frozen_best as f64 {
+            let gamma_rejected = matches!(
+                precomputed_cost,
+                Some(cost) if (cost as f64) >= gamma * frozen_best as f64
+            );
+            if let Some(t) = t_gamma {
+                profile.gamma_precheck += t.elapsed();
+            }
+            if gamma_rejected {
+                return;
+            }
+            // O(footprint) duplicate rejection: preview the successor's
+            // structural hash straight off the parent DAG and the delta —
+            // without applying the rewrite — and probe the frozen fast
+            // seen-set. A hit proves (modulo the 2⁻⁶⁴ collision class the
+            // fingerprint seen-set already accepts) the canonical form has
+            // been enqueued before, so the baseline engine would have
+            // discarded this candidate right after materializing it
+            // (DESIGN.md §9).
+            let child_shash = parent_shash.as_ref().map(|h| {
+                let t_preview = profiling.then(Instant::now);
+                let value = h.preview(ctx.dag(), &delta);
+                if let Some(t) = t_preview {
+                    profile.dedup += t.elapsed();
+                }
+                value
+            });
+            if let Some(value) = child_shash {
+                if seen_fast.contains(&value) {
+                    dedup_hits += 1;
+                    fp_fast_rejects += 1;
                     return;
                 }
             }
+            let t_canon = profiling.then(Instant::now);
             let canonical = canonicalize(&ctx.apply_delta(&delta));
+            if let Some(t) = t_canon {
+                profile.canonicalize += t.elapsed();
+            }
             let cost = match precomputed_cost {
                 Some(cost) => {
                     debug_assert_eq!(cost, cost_model.cost(&canonical));
@@ -841,18 +1085,58 @@ impl Optimizer {
             if (cost as f64) >= gamma * frozen_best as f64 {
                 return;
             }
+            let t_fp = profiling.then(Instant::now);
             let fingerprint = canonical.fingerprint();
-            if seen.contains(&fingerprint) {
+            if let Some(t) = t_fp {
+                profile.fingerprint += t.elapsed();
+            }
+            // The preview must agree with a from-scratch hash of the
+            // materialized successor — the invariance DESIGN.md §9 argues.
+            #[cfg(debug_assertions)]
+            if let Some(value) = child_shash {
+                debug_assert_eq!(
+                    value,
+                    StructuralHash::of(&quartz_ir::CircuitDag::from_circuit(&canonical)).value(),
+                    "structural-hash preview diverged from the materialized circuit"
+                );
+            }
+            let t_dedup = profiling.then(Instant::now);
+            let seen_hit = seen.contains(&fingerprint);
+            if let Some(t) = t_dedup {
+                profile.dedup += t.elapsed();
+            }
+            if seen_hit {
                 dedup_hits += 1;
+                if child_shash.is_some() {
+                    // First sight by structural hash but already seen by
+                    // fingerprint: impossible while the invariance argument
+                    // holds. Counted as a canary, asserted 0 by the suites.
+                    fp_confirm_mismatches += 1;
+                }
                 return;
             }
+            // First sight: promote the previewed value to a full carryable
+            // hash so this candidate's own expansion can preview *its*
+            // successors incrementally. Only first-sight survivors (a few
+            // percent of candidates on realistic searches) pay this.
+            let child_hash = parent_shash.as_ref().map(|h| {
+                let t_preview = profiling.then(Instant::now);
+                let full = h.previewed(ctx.dag(), &delta);
+                if let Some(t) = t_preview {
+                    profile.dedup += t.elapsed();
+                }
+                debug_assert_eq!(Some(full.value()), child_shash);
+                full
+            });
             candidates.push(Candidate {
                 circuit: canonical,
                 fingerprint,
                 cost,
                 delta,
+                shash: child_hash,
             });
         };
+        let t_loop = profiling.then(Instant::now);
         for &id in ids.iter() {
             let xform = &self.index.transformations()[id];
             match &state.cache {
@@ -876,6 +1160,17 @@ impl Optimizer {
                 }
             }
         }
+        if let Some(t) = t_loop {
+            // Everything in the dispatch loop not claimed by a finer phase
+            // is match-enumeration work.
+            profile.matching += t.elapsed().saturating_sub(
+                profile.delta
+                    + profile.gamma_precheck
+                    + profile.canonicalize
+                    + profile.fingerprint
+                    + profile.dedup,
+            );
+        }
         attempts += cache_stats.full_passes;
         candidates.sort_by_key(|c| (c.cost, c.fingerprint));
         Expansion {
@@ -889,6 +1184,9 @@ impl Optimizer {
             matches_recomputed: cache_stats.matches_recomputed,
             cache_invalidate_nodes: cache_stats.dirty_nodes,
             scoped_rematches: cache_stats.scoped_runs,
+            fp_fast_rejects,
+            fp_confirm_mismatches,
+            profile,
         }
     }
 }
@@ -1190,8 +1488,9 @@ mod tests {
 
     /// The rate accessors must return 0 (not NaN) when their denominators
     /// are zero: `reduction` on a zero-cost input, `dispatch_skip_rate` /
-    /// `cache_hit_rate` / `ctx_derive_rate` on a run that did no matching
-    /// work at all (an empty transformation library on an empty circuit).
+    /// `cache_hit_rate` / `ctx_derive_rate` / `fp_fast_reject_rate` on a run
+    /// that did no matching work at all (an empty transformation library on
+    /// an empty circuit).
     #[test]
     fn rates_are_zero_not_nan_on_empty_runs() {
         let opt = Optimizer::new(Vec::new(), SearchConfig::default());
@@ -1199,9 +1498,11 @@ mod tests {
         assert_eq!(result.initial_cost, 0);
         assert_eq!(result.best_cost, 0);
         assert_eq!(result.match_attempts + result.match_skips, 0);
+        assert_eq!(result.dedup_hits, 0);
         assert_eq!(result.reduction(), 0.0);
         assert_eq!(result.dispatch_skip_rate(), 0.0);
         assert_eq!(result.cache_hit_rate(), 0.0);
+        assert_eq!(result.fp_fast_reject_rate(), 0.0);
 
         // A populated optimizer on the empty circuit exercises the
         // zero-initial-cost path of `reduction` too; every rate stays
@@ -1215,9 +1516,167 @@ mod tests {
             empty.dispatch_skip_rate(),
             empty.ctx_derive_rate(),
             empty.cache_hit_rate(),
+            empty.fp_fast_reject_rate(),
         ] {
             assert!(rate.is_finite());
             assert!((0.0..=1.0).contains(&rate));
         }
+    }
+
+    /// Asserts the accounting identity of DESIGN.md §9 on one result:
+    /// every duplicate was rejected either by the fast path or after
+    /// materialization, by disjoint increment sites.
+    fn assert_dedup_accounting(r: &SearchResult) {
+        assert_eq!(
+            r.dedup_hits,
+            r.fp_fast_rejects + r.dedup_hits_materialized,
+            "dedup accounting identity violated"
+        );
+        assert_eq!(r.materializations_avoided, r.fp_fast_rejects);
+        assert_eq!(r.fp_confirm_mismatches, 0, "invariance canary fired");
+    }
+
+    /// The incremental-fingerprint engine (the default) must produce
+    /// bit-identical outcomes to the materializing engine, while actually
+    /// fast-rejecting a substantial share of the duplicates before they are
+    /// materialized — and never disagreeing with the authoritative
+    /// fingerprint (the confirm-mismatch canary).
+    #[test]
+    fn incremental_fingerprints_are_bit_identical_to_materializing_engine() {
+        let fp = nam_optimizer(2, 2, 0);
+        assert!(
+            fp.config().incremental_fingerprints,
+            "incremental fingerprints must default on"
+        );
+        let nofp = Optimizer::new(
+            fp.transformations().to_vec(),
+            SearchConfig {
+                incremental_fingerprints: false,
+                ..fp.config().clone()
+            },
+        );
+        let c = redundant_three_qubit_circuit();
+        let with_fp = fp.optimize(&c);
+        let without_fp = nofp.optimize(&c);
+
+        assert_same_outcome(&with_fp, &without_fp);
+        // Matching effort is untouched by the fast path: the engines differ
+        // only in *when* a duplicate is detected.
+        assert_eq!(with_fp.match_attempts, without_fp.match_attempts);
+        assert_eq!(with_fp.match_skips, without_fp.match_skips);
+
+        assert!(
+            with_fp.fp_fast_rejects > 0,
+            "expected duplicate candidates to be rejected before materialization"
+        );
+        assert!(with_fp.fp_fast_reject_rate() > 0.0);
+        assert_dedup_accounting(&with_fp);
+
+        // The materializing engine reports no fast-path activity; all of
+        // its dedup hits are materialized.
+        assert_eq!(without_fp.fp_fast_rejects, 0);
+        assert_eq!(without_fp.materializations_avoided, 0);
+        assert_eq!(without_fp.fp_confirm_mismatches, 0);
+        assert_eq!(without_fp.dedup_hits_materialized, without_fp.dedup_hits);
+        assert_eq!(without_fp.fp_fast_reject_rate(), 0.0);
+    }
+
+    /// The fast path composes with every engine configuration: rebuilt
+    /// contexts, uncached matches, linear dispatch, and batched parallel
+    /// expansion must all stay bit-identical to their materializing
+    /// counterparts.
+    #[test]
+    fn incremental_fingerprints_compose_with_other_engine_switches() {
+        let base = nam_optimizer(2, 2, 0);
+        let c = redundant_three_qubit_circuit();
+        for (incremental_contexts, cached_matches, use_index, batch_size) in [
+            (false, false, true, 1),
+            (true, false, false, 1),
+            (true, true, true, 4),
+        ] {
+            let variant = |incremental_fingerprints: bool| {
+                Optimizer::new(
+                    base.transformations().to_vec(),
+                    SearchConfig {
+                        incremental_contexts,
+                        cached_matches,
+                        use_index,
+                        batch_size,
+                        incremental_fingerprints,
+                        ..base.config().clone()
+                    },
+                )
+                .optimize(&c)
+            };
+            let with_fp = variant(true);
+            let without_fp = variant(false);
+            assert_same_outcome(&with_fp, &without_fp);
+            assert!(
+                with_fp.fp_fast_rejects > 0,
+                "fast path inactive for contexts={incremental_contexts} \
+                 cached={cached_matches} index={use_index} batch={batch_size}"
+            );
+            assert_dedup_accounting(&with_fp);
+            assert_dedup_accounting(&without_fp);
+        }
+    }
+
+    /// For the non-additive Depth cost model the fast path must disable
+    /// itself (candidates must be materialized to be costed anyway) and
+    /// report no fast-path activity — results identical either way.
+    #[test]
+    fn incremental_fingerprints_disable_themselves_for_depth_cost() {
+        let base = nam_optimizer(2, 2, 0);
+        let c = redundant_three_qubit_circuit();
+        let run = |incremental_fingerprints: bool| {
+            Optimizer::new(
+                base.transformations().to_vec(),
+                SearchConfig {
+                    cost_model: CostModel::Depth,
+                    incremental_fingerprints,
+                    ..base.config().clone()
+                },
+            )
+            .optimize(&c)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_same_outcome(&on, &off);
+        assert_eq!(on.fp_fast_rejects, 0);
+        assert_eq!(on.materializations_avoided, 0);
+        assert_eq!(on.fp_confirm_mismatches, 0);
+        assert_eq!(on.dedup_hits_materialized, on.dedup_hits);
+    }
+
+    /// Profiling off (the default) leaves the breakdown all-zero; profiling
+    /// on fills it without changing any outcome or counter field.
+    #[test]
+    fn profiling_fills_the_breakdown_without_changing_outcomes() {
+        let base = nam_optimizer(2, 2, 0);
+        let c = redundant_three_qubit_circuit();
+        let unprofiled = base.optimize(&c);
+        assert_eq!(unprofiled.profile, SearchProfile::default());
+        assert_eq!(unprofiled.profile.total(), Duration::ZERO);
+
+        let profiled = Optimizer::new(
+            base.transformations().to_vec(),
+            SearchConfig {
+                profile: true,
+                ..base.config().clone()
+            },
+        )
+        .optimize(&c);
+        assert_same_outcome(&profiled, &unprofiled);
+        assert_eq!(profiled.dedup_hits, unprofiled.dedup_hits);
+        assert_eq!(profiled.fp_fast_rejects, unprofiled.fp_fast_rejects);
+        assert!(
+            profiled.profile.total() > Duration::ZERO,
+            "profiling must record phase time"
+        );
+        let phases = profiled.profile.phases();
+        assert_eq!(phases.len(), 6);
+        assert!(phases.iter().all(|(_, secs)| *secs >= 0.0));
+        // The materializing phases ran (this search canonicalizes plenty).
+        assert!(profiled.profile.canonicalize > Duration::ZERO);
     }
 }

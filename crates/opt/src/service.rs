@@ -181,8 +181,12 @@ impl OptimizationService {
             // driver freezes its own state before an expansion.
             let expansions =
                 crate::search::expand_in_order(&work, steal, |(id, frozen_best, entry)| {
-                    self.optimizer
-                        .expand_entry(entry, *frozen_best, frontiers[*id].seen())
+                    self.optimizer.expand_entry(
+                        entry,
+                        *frozen_best,
+                        frontiers[*id].seen(),
+                        frontiers[*id].seen_fast(),
+                    )
                 });
 
             // Merge in the global key order — fixed before expansion, so the

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 use quartz_gen::{Ecc, EccSet, GenConfig, Generator, Library};
-use quartz_ir::{equivalent_up_to_phase, Circuit, Gate, GateSet, Instruction, ParamExpr};
+use quartz_ir::{
+    equivalent_up_to_phase, Circuit, CircuitDag, Gate, GateSet, Instruction, ParamExpr,
+    StructuralHash,
+};
 use quartz_opt::{
     cancel_adjacent_inverses, canonicalize, greedy_optimize, merge_rotations, preprocess_nam,
     transformations_from_ecc_set, MatchContext, Optimizer, SearchConfig, Transformation,
@@ -249,6 +252,55 @@ proptest! {
         }
     }
 
+    /// The incremental structural-hash prefilter (DESIGN.md §9) must be
+    /// invisible in search outcomes: with `incremental_fingerprints` on, the
+    /// `SearchResult` is field-by-field identical to the materializing
+    /// engine — same best circuit, trajectory, and dedup counters — while
+    /// the dedup accounting identity holds and the confirm-mismatch canary
+    /// stays at zero.
+    #[test]
+    fn incremental_fingerprint_engine_is_bit_identical_to_materializing(
+        input in arb_clifford_t_circuit(3, 10),
+    ) {
+        let nam = quartz_opt::clifford_t_to_nam(&input);
+        let config = SearchConfig {
+            timeout: Duration::from_secs(60),
+            max_iterations: 8,
+            ..SearchConfig::default()
+        };
+        prop_assert!(config.incremental_fingerprints, "prefilter must default on");
+        let fast = Optimizer::with_index(shared_nam_index(), config.clone());
+        let slow = Optimizer::with_index(
+            shared_nam_index(),
+            SearchConfig { incremental_fingerprints: false, ..config },
+        );
+        let a = fast.optimize(&nam);
+        let b = slow.optimize(&nam);
+        prop_assert_eq!(&a.best_circuit, &b.best_circuit);
+        prop_assert_eq!(a.best_cost, b.best_cost);
+        prop_assert_eq!(a.initial_cost, b.initial_cost);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.circuits_seen, b.circuits_seen);
+        prop_assert_eq!(a.dedup_hits, b.dedup_hits);
+        prop_assert_eq!(a.match_attempts, b.match_attempts);
+        prop_assert_eq!(a.match_skips, b.match_skips);
+        prop_assert_eq!(a.ctx_rebuilds, b.ctx_rebuilds);
+        prop_assert_eq!(a.ctx_derives, b.ctx_derives);
+        let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
+        prop_assert_eq!(trace_a, trace_b);
+        // Dedup accounting: every hit is either a fast reject or a
+        // materialized confirmation, and nothing slips past the canary.
+        prop_assert_eq!(a.dedup_hits, a.fp_fast_rejects + a.dedup_hits_materialized);
+        prop_assert_eq!(a.materializations_avoided, a.fp_fast_rejects);
+        prop_assert_eq!(a.fp_confirm_mismatches, 0);
+        // The materializing engine never touches the fast path.
+        prop_assert_eq!(b.fp_fast_rejects, 0);
+        prop_assert_eq!(b.materializations_avoided, 0);
+        prop_assert_eq!(b.fp_confirm_mismatches, 0);
+        prop_assert_eq!(b.dedup_hits_materialized, b.dedup_hits);
+    }
+
     #[test]
     fn search_output_is_equivalent_and_no_worse(c in arb_clifford_t_circuit(2, 8)) {
         // A small transformation library; the search must never return a
@@ -330,6 +382,75 @@ fn derived_contexts_match_rebuilt_contexts_along_a_search_run() {
             if let Some(m) = ctx.find_matches(&xform.target).into_iter().next() {
                 let delta = ctx.delta_for(xform, &m).expect("instantiable rewrite");
                 ctx = ctx.derive(&delta);
+                steps += 1;
+                continue 'walk;
+            }
+        }
+        break;
+    }
+    assert!(
+        steps >= 3,
+        "expected a multi-step rewrite chain, got {steps}"
+    );
+}
+
+/// The incremental structural hash threaded along a derive chain (the way
+/// the search threads it through `QueueEntry::shash`) must agree at every
+/// step with a hash computed from scratch — and, because the hash is
+/// order-invariant, with the hash of the freshly *canonicalized* child
+/// circuit, which is exactly what the materializing engine would key on.
+#[test]
+fn incremental_hashes_track_fresh_hashes_along_a_derive_chain() {
+    let index = shared_nam_index();
+    let xforms = index.transformations();
+    assert!(!xforms.is_empty());
+
+    let mut circuit = Circuit::new(3, 0);
+    circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+    circuit.push(Instruction::new(Gate::H, vec![0], vec![]));
+    circuit.push(Instruction::new(
+        Gate::Rz,
+        vec![1],
+        vec![ParamExpr::constant_pi4(1)],
+    ));
+    circuit.push(Instruction::new(
+        Gate::Rz,
+        vec![1],
+        vec![ParamExpr::constant_pi4(2)],
+    ));
+    circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+    circuit.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+    circuit.push(Instruction::new(Gate::X, vec![2], vec![]));
+    circuit.push(Instruction::new(Gate::X, vec![2], vec![]));
+
+    let mut ctx = MatchContext::new(&circuit);
+    let mut hash = StructuralHash::of(ctx.dag());
+    let mut steps = 0;
+    'walk: loop {
+        // The carried hash equals a from-scratch hash of the current DAG and
+        // of the canonicalized sequence the seen-set would materialize.
+        assert_eq!(hash.value(), StructuralHash::of(ctx.dag()).value());
+        assert_eq!(
+            hash.value(),
+            StructuralHash::of(&CircuitDag::from_circuit(&canonicalize(&ctx.to_circuit()))).value(),
+            "carried hash diverged from the canonicalized circuit after {steps} rewrites"
+        );
+        for xform in xforms {
+            // Walk along strictly shrinking rewrites so the run terminates.
+            if xform.gate_delta() >= 0 {
+                continue;
+            }
+            if let Some(m) = ctx.find_matches(&xform.target).into_iter().next() {
+                let delta = ctx.delta_for(xform, &m).expect("instantiable rewrite");
+                let previewed = hash.preview(ctx.dag(), &delta);
+                let (child, footprint) = ctx.derive_with_footprint(&delta);
+                hash = hash.updated(ctx.dag(), child.dag(), &footprint);
+                assert_eq!(
+                    previewed,
+                    hash.value(),
+                    "preview disagreed with post-splice update at step {steps}"
+                );
+                ctx = child;
                 steps += 1;
                 continue 'walk;
             }

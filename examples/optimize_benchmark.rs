@@ -6,7 +6,11 @@
 //! (machine-readable; see `quartz_bench::report`) so ad-hoc benchmark runs
 //! contribute to the recorded perf trajectory too.
 //!
-//! Run with `cargo run --release --example optimize_benchmark [-- <circuit_name>]`.
+//! Run with
+//! `cargo run --release --example optimize_benchmark [-- <circuit_name>] [--profile]`.
+//! `--profile` adds a per-phase wall-time breakdown of the search (matching,
+//! delta, γ-precheck, canonicalize, fingerprint, dedup) to the console output
+//! and the report.
 
 use quartz::circuits::suite;
 use quartz::gen::{GenConfig, Generator};
@@ -16,8 +20,12 @@ use quartz_bench::report::{BenchReport, BENCH_SEARCH_FILE};
 use std::time::{Duration, Instant};
 
 fn main() {
-    let name = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = args.iter().any(|a| a == "--profile");
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "tof_3".to_string());
     let circuit = match suite::build_clifford_t(&name) {
         Some(c) => c,
@@ -62,6 +70,7 @@ fn main() {
             timeout: Duration::from_secs(10),
             max_iterations: 100,
             batch_size: 8,
+            profile,
             ..SearchConfig::default()
         },
     );
@@ -101,6 +110,25 @@ fn main() {
         result.scoped_rematches,
         result.cache_invalidate_nodes
     );
+    println!(
+        "Incremental fingerprints: {} of {} duplicates rejected by the \
+         structural-hash preview ({:.1}% fast), {} materializations avoided, \
+         {} confirm mismatches",
+        result.fp_fast_rejects,
+        result.dedup_hits,
+        100.0 * result.fp_fast_reject_rate(),
+        result.materializations_avoided,
+        result.fp_confirm_mismatches
+    );
+    if profile {
+        println!(
+            "Search phase breakdown ({:.3}s profiled):",
+            result.profile.total().as_secs_f64()
+        );
+        for (phase, secs) in result.profile.phases() {
+            println!("  {phase:>12}  {secs:>9.4}s");
+        }
+    }
 
     let mut report = BenchReport::new("optimize_benchmark");
     report
@@ -113,7 +141,21 @@ fn main() {
         .metric("matches_cached", result.matches_cached as f64)
         .metric("matches_recomputed", result.matches_recomputed as f64)
         .metric("cache_hit_rate", result.cache_hit_rate())
-        .metric("dispatch_skip_rate", result.dispatch_skip_rate());
+        .metric("dispatch_skip_rate", result.dispatch_skip_rate())
+        .metric("dedup_hits", result.dedup_hits as f64)
+        .metric("fp_fast_rejects", result.fp_fast_rejects as f64)
+        .metric(
+            "materializations_avoided",
+            result.materializations_avoided as f64,
+        )
+        .metric("fp_confirm_mismatches", result.fp_confirm_mismatches as f64);
+    if profile {
+        let suite = report.suite(&format!("optimize/{name}/profile"));
+        for (phase, secs) in result.profile.phases() {
+            suite.metric(&format!("{phase}_secs"), secs);
+        }
+        suite.metric("total_secs", result.profile.total().as_secs_f64());
+    }
     match report.write(BENCH_SEARCH_FILE) {
         Ok(()) => println!("Wrote {BENCH_SEARCH_FILE}"),
         Err(e) => println!("warning: could not write {BENCH_SEARCH_FILE}: {e}"),

@@ -203,6 +203,22 @@ fn service_batch_is_bit_identical_to_standalone_optimizer_runs() {
             batched.scoped_rematches, solo.scoped_rematches,
             "circuit {id}"
         );
+        assert_eq!(
+            batched.fp_fast_rejects, solo.fp_fast_rejects,
+            "circuit {id}"
+        );
+        assert_eq!(
+            batched.materializations_avoided, solo.materializations_avoided,
+            "circuit {id}"
+        );
+        assert_eq!(
+            batched.fp_confirm_mismatches, solo.fp_confirm_mismatches,
+            "circuit {id}"
+        );
+        assert_eq!(
+            batched.dedup_hits_materialized, solo.dedup_hits_materialized,
+            "circuit {id}"
+        );
         let batched_trace: Vec<usize> = batched.improvement_trace.iter().map(|&(_, c)| c).collect();
         let solo_trace: Vec<usize> = solo.improvement_trace.iter().map(|&(_, c)| c).collect();
         assert_eq!(batched_trace, solo_trace, "circuit {id}");
@@ -405,8 +421,78 @@ fn committed_artifact_is_bit_identical_to_generate_at_startup() {
         assert_eq!(a.matches_recomputed, b.matches_recomputed);
         assert_eq!(a.cache_invalidate_nodes, b.cache_invalidate_nodes);
         assert_eq!(a.scoped_rematches, b.scoped_rematches);
+        assert_eq!(a.fp_fast_rejects, b.fp_fast_rejects);
+        assert_eq!(a.materializations_avoided, b.materializations_avoided);
+        assert_eq!(a.fp_confirm_mismatches, b.fp_confirm_mismatches);
+        assert_eq!(a.dedup_hits_materialized, b.dedup_hits_materialized);
         let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
         let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
         assert_eq!(trace_a, trace_b);
     }
+}
+
+/// Acceptance for the incremental-fingerprint prefilter (DESIGN.md §9) at the
+/// service level: the default engine — structural-hash previews rejecting
+/// duplicates before materialization — optimizes a mixed NAM batch to
+/// bit-identical per-circuit outcomes vs the materialize-everything engine,
+/// while avoiding at least half of the duplicate materializations, with the
+/// accounting identity holding and a zero confirm-mismatch canary.
+#[test]
+fn fingerprint_prefilter_service_batch_is_bit_identical_with_it_off() {
+    let set = nam_ecc_set(2, 2, 2);
+    let config = SearchConfig {
+        timeout: Duration::from_secs(300),
+        max_iterations: 10,
+        ..SearchConfig::default()
+    };
+    assert!(
+        config.incremental_fingerprints,
+        "the prefilter must be the default"
+    );
+    let fast = OptimizationService::from_ecc_set(&set, config.clone());
+    let materializing = OptimizationService::from_ecc_set(
+        &set,
+        SearchConfig {
+            incremental_fingerprints: false,
+            ..config
+        },
+    );
+    let batch = vec![
+        preprocess_nam(&suite::build_clifford_t("tof_3").unwrap()),
+        preprocess_nam(&suite::build_clifford_t("mod5_4").unwrap()),
+    ];
+    let on_results = fast.optimize_batch(&batch);
+    let off_results = materializing.optimize_batch(&batch);
+    let mut dedup_hits = 0;
+    let mut avoided = 0;
+    for (id, (on, off)) in on_results.iter().zip(&off_results).enumerate() {
+        assert_eq!(on.best_circuit, off.best_circuit, "circuit {id}");
+        assert_eq!(on.best_cost, off.best_cost, "circuit {id}");
+        assert_eq!(on.iterations, off.iterations, "circuit {id}");
+        assert_eq!(on.circuits_seen, off.circuits_seen, "circuit {id}");
+        assert_eq!(on.dedup_hits, off.dedup_hits, "circuit {id}");
+        assert_eq!(on.match_attempts, off.match_attempts, "circuit {id}");
+        let trace_on: Vec<usize> = on.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let trace_off: Vec<usize> = off.improvement_trace.iter().map(|&(_, c)| c).collect();
+        assert_eq!(trace_on, trace_off, "circuit {id}");
+        // Accounting identity: every duplicate is either fast-rejected by the
+        // preview or caught after materializing (DESIGN.md §9.4).
+        assert_eq!(
+            on.dedup_hits,
+            on.fp_fast_rejects + on.dedup_hits_materialized,
+            "circuit {id}"
+        );
+        assert_eq!(on.fp_confirm_mismatches, 0, "circuit {id}");
+        // The materializing engine never previews.
+        assert_eq!(off.fp_fast_rejects, 0, "circuit {id}");
+        assert_eq!(off.materializations_avoided, 0, "circuit {id}");
+        assert_eq!(off.fp_fast_reject_rate(), 0.0, "circuit {id}");
+        dedup_hits += on.dedup_hits;
+        avoided += on.materializations_avoided;
+    }
+    assert!(
+        avoided * 2 >= dedup_hits,
+        "expected the preview to avoid at least half of duplicate \
+         materializations: avoided {avoided} of {dedup_hits}"
+    );
 }
