@@ -73,5 +73,8 @@ pub use preprocess::{
 };
 pub use quartz_gen::TransformationIndex;
 pub use search::{Optimizer, SearchConfig, SearchProfile, SearchResult};
-pub use service::{OptimizationService, ServiceEvent};
+pub use service::{
+    AdmissionError, OptimizationService, Priority, RequestId, RequestState, RequestStatus,
+    ServiceEvent, ServiceRequest, ServiceScheduler,
+};
 pub use xform::{canonicalize, transformations_from_ecc_set, Transformation};

@@ -479,6 +479,13 @@ pub(crate) struct Expansion {
 /// exactly the same pop → expand → merge → prune code, which is what keeps
 /// per-circuit service results bit-identical to standalone runs.
 pub(crate) struct Frontier {
+    /// Iteration budget of *this* frontier (dequeues allowed over its whole
+    /// lifetime). Standalone runs seed it from
+    /// [`SearchConfig::max_iterations`]; service requests carry their own
+    /// budget, which is what makes a co-tenant mix deterministic per
+    /// request: the budget travels with the frontier, not with the shared
+    /// configuration.
+    budget: usize,
     queue: BinaryHeap<QueueEntry>,
     /// Canonical fingerprints of every circuit ever enqueued — the
     /// authoritative deduplication key.
@@ -511,8 +518,9 @@ pub(crate) struct Frontier {
 }
 
 impl Frontier {
-    /// Seeds a frontier with the canonicalized input circuit as its root.
-    pub(crate) fn new(input: &Circuit, cost_model: CostModel) -> Self {
+    /// Seeds a frontier with the canonicalized input circuit as its root
+    /// and its own iteration budget.
+    pub(crate) fn new(input: &Circuit, cost_model: CostModel, budget: usize) -> Self {
         let initial_cost = cost_model.cost(input);
         let canonical_input = canonicalize(input);
         let mut seen = FxHashSet::default();
@@ -532,6 +540,7 @@ impl Frontier {
             shash: None,
         });
         Frontier {
+            budget,
             queue,
             seen,
             seen_fast,
@@ -562,9 +571,24 @@ impl Frontier {
         self.best_cost
     }
 
+    /// The (canonicalized) input circuit's cost.
+    pub(crate) fn initial_cost(&self) -> usize {
+        self.initial_cost
+    }
+
     /// Number of entries dequeued so far.
     pub(crate) fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// This frontier's total iteration budget.
+    pub(crate) fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Dequeues still allowed under this frontier's budget.
+    pub(crate) fn remaining_budget(&self) -> usize {
+        self.budget.saturating_sub(self.iterations)
     }
 
     /// The fingerprints of every circuit ever enqueued.
@@ -816,20 +840,29 @@ impl Optimizer {
         &self.config
     }
 
-    /// Runs Algorithm 2 on the input circuit.
+    /// Runs Algorithm 2 on the input circuit under the configuration's
+    /// iteration budget ([`SearchConfig::max_iterations`]).
     pub fn optimize(&self, input: &Circuit) -> SearchResult {
+        self.optimize_with_budget(input, self.config.max_iterations)
+    }
+
+    /// Runs Algorithm 2 with an explicit per-run iteration budget, overriding
+    /// [`SearchConfig::max_iterations`]. This is the standalone twin of a
+    /// service request with the same budget: under an iteration budget the
+    /// two produce bit-identical [`SearchResult`]s (wall-clock fields aside)
+    /// no matter what else the service is running — the acceptance check of
+    /// the `quartz-serve` daemon.
+    pub fn optimize_with_budget(&self, input: &Circuit, budget: usize) -> SearchResult {
         let start = Instant::now();
-        let mut frontier = Frontier::new(input, self.config.cost_model);
+        let mut frontier = Frontier::new(input, self.config.cost_model, budget);
         let batch_size = self.config.batch_size.max(1);
         let num_threads = self.config.effective_threads();
 
         loop {
-            if start.elapsed() > self.config.timeout
-                || frontier.iterations() >= self.config.max_iterations
-            {
+            if start.elapsed() > self.config.timeout || frontier.remaining_budget() == 0 {
                 break;
             }
-            let take = batch_size.min(self.config.max_iterations - frontier.iterations());
+            let take = batch_size.min(frontier.remaining_budget());
             let batch = frontier.pop_batch(take, start);
             if batch.is_empty() {
                 break;

@@ -494,3 +494,109 @@ fn transformations_from_generated_sets_preserve_semantics_when_applied() {
         "expected at least one applicable transformation"
     );
 }
+
+/// Summarizes a [`quartz_opt::SearchResult`] by its full deterministic
+/// outcome field set — everything except wall-clock measurements. Two
+/// results with equal summaries are "bit-identical" in the sense of the
+/// service determinism contract (DESIGN.md §6/§10).
+#[allow(clippy::type_complexity)]
+fn outcome_fields(r: &quartz_opt::SearchResult) -> (Circuit, [usize; 5], Vec<usize>, [usize; 12]) {
+    (
+        r.best_circuit.clone(),
+        [
+            r.best_cost,
+            r.initial_cost,
+            r.iterations,
+            r.circuits_seen,
+            r.dedup_hits,
+        ],
+        r.improvement_trace.iter().map(|&(_, c)| c).collect(),
+        [
+            r.match_attempts,
+            r.match_skips,
+            r.ctx_rebuilds,
+            r.ctx_derives,
+            r.matches_cached,
+            r.matches_recomputed,
+            r.cache_invalidate_nodes,
+            r.scoped_rematches,
+            r.fp_fast_rejects,
+            r.materializations_avoided,
+            r.fp_confirm_mismatches,
+            r.dedup_hits_materialized,
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The co-tenancy determinism contract, adversarially sampled: a random
+    /// mix of requests (random circuits, budgets, priorities), admitted on a
+    /// random mid-run schedule into a scheduler running with a random
+    /// expansion thread count, must finish with every request's full outcome
+    /// field set bit-identical to a standalone `optimize_with_budget` run of
+    /// the same circuit under the same budget. Priorities, admission gaps,
+    /// and thread counts may change *when* a frontier is served — never what
+    /// it computes.
+    #[test]
+    fn cotenant_scheduler_outcomes_are_bit_identical_to_standalone(
+        mix in prop::collection::vec(
+            (arb_clifford_t_circuit(2, 8), 4usize..24, 0u8..3, 0usize..4),
+            2..5,
+        ),
+        threads in 1usize..4,
+    ) {
+        use quartz_opt::{Priority, ServiceRequest, ServiceScheduler};
+
+        let index = shared_nam_index();
+        let config = SearchConfig {
+            num_threads: threads,
+            timeout: Duration::from_secs(600),
+            ..SearchConfig::default()
+        };
+        let priority = |p: u8| match p {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        };
+
+        // Serve the whole mix co-tenant, admitting request i only after
+        // `gap_i` further global steps (mid-run admission).
+        let mut scheduler = ServiceScheduler::new(
+            Optimizer::with_index(Arc::clone(&index), config.clone()),
+            usize::MAX,
+        );
+        let mut ids = Vec::new();
+        let mut next = 0usize;
+        let mut countdown = 0usize;
+        loop {
+            while next < mix.len() && countdown == 0 {
+                let (circuit, budget, prio, gap) = &mix[next];
+                let request = ServiceRequest::new(circuit.clone())
+                    .with_budget(*budget)
+                    .with_priority(priority(*prio));
+                ids.push(scheduler.admit(request).expect("unbounded capacity"));
+                countdown = *gap;
+                next += 1;
+            }
+            if next >= mix.len() && !scheduler.has_work() {
+                break;
+            }
+            scheduler.step(|_| {});
+            countdown = countdown.saturating_sub(1);
+        }
+
+        // Every request: bit-identical to its standalone run.
+        let standalone_optimizer = Optimizer::with_index(Arc::clone(&index), config);
+        for (i, (circuit, budget, _, _)) in mix.iter().enumerate() {
+            let served = scheduler.result(ids[i]).expect("finished");
+            let standalone = standalone_optimizer.optimize_with_budget(circuit, *budget);
+            let (served, standalone) = (outcome_fields(served), outcome_fields(&standalone));
+            prop_assert!(
+                served == standalone,
+                "request {i} diverged from standalone under co-tenancy: {served:?} != {standalone:?}"
+            );
+        }
+    }
+}

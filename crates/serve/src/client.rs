@@ -1,0 +1,195 @@
+//! A small blocking client for the daemon's wire protocol — used by the
+//! test harnesses, the `serve_smoke` CI binary, and the quickstart
+//! example. One TCP connection per call, mirroring the server's
+//! `Connection: close` discipline.
+
+use crate::http::{read_response, write_request, HttpError, Request, Response};
+use crate::json::{self, Json};
+use crate::wire::{
+    CancelResponse, ErrorBody, EventLine, ResultResponse, StatusResponse, SubmitRequest,
+    SubmitResponse, WireError,
+};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+/// A client-side protocol error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or reading the socket failed.
+    Io(std::io::Error),
+    /// The response violated HTTP.
+    Http(HttpError),
+    /// The response body was not valid JSON.
+    Json(json::JsonError),
+    /// The response body was JSON of the wrong shape.
+    Wire(WireError),
+    /// The server answered with an error status and body.
+    Server {
+        /// The HTTP status.
+        status: u16,
+        /// The decoded error body.
+        body: ErrorBody,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Http(e) => write!(f, "http: {e}"),
+            ClientError::Json(e) => write!(f, "json: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server { status, body } => {
+                write!(f, "server {status}: {} ({})", body.error, body.detail)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the server at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr }
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        target: &str,
+        body: Option<&Json>,
+    ) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        let body_bytes = body.map(|b| b.to_string().into_bytes()).unwrap_or_default();
+        let request = Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: vec![("content-length".to_string(), body_bytes.len().to_string())],
+            body: body_bytes,
+        };
+        stream.write_all(&write_request(&request))?;
+        read_response(&mut stream).map_err(ClientError::Http)
+    }
+
+    fn expect_ok(&self, response: Response) -> Result<Json, ClientError> {
+        let text = String::from_utf8_lossy(&response.body).into_owned();
+        let value = json::parse(&text).map_err(ClientError::Json)?;
+        if response.status == 200 {
+            Ok(value)
+        } else {
+            let body = ErrorBody::parse(&value).map_err(ClientError::Wire)?;
+            Err(ClientError::Server {
+                status: response.status,
+                body,
+            })
+        }
+    }
+
+    /// Submits a request; returns the id to poll with.
+    pub fn submit(&self, request: &SubmitRequest) -> Result<u64, ClientError> {
+        let response = self.call("POST", "/v1/submit", Some(&request.encode()))?;
+        let value = self.expect_ok(response)?;
+        SubmitResponse::parse(&value)
+            .map(|r| r.id)
+            .map_err(ClientError::Wire)
+    }
+
+    /// Fetches a live status snapshot.
+    pub fn status(&self, id: u64) -> Result<StatusResponse, ClientError> {
+        let response = self.call("GET", &format!("/v1/status/{id}"), None)?;
+        let value = self.expect_ok(response)?;
+        StatusResponse::parse(&value).map_err(ClientError::Wire)
+    }
+
+    /// Fetches the finished result.
+    pub fn result(&self, id: u64) -> Result<ResultResponse, ClientError> {
+        let response = self.call("GET", &format!("/v1/result/{id}"), None)?;
+        let value = self.expect_ok(response)?;
+        ResultResponse::parse(&value).map_err(ClientError::Wire)
+    }
+
+    /// Cancels a request; returns its terminal state.
+    pub fn cancel(&self, id: u64) -> Result<CancelResponse, ClientError> {
+        let response = self.call("POST", &format!("/v1/cancel/{id}"), None)?;
+        let value = self.expect_ok(response)?;
+        CancelResponse::parse(&value).map_err(ClientError::Wire)
+    }
+
+    /// Polls `result` until the request finishes, then returns it.
+    pub fn wait_result(&self, id: u64) -> Result<ResultResponse, ClientError> {
+        loop {
+            match self.result(id) {
+                Ok(result) => return Ok(result),
+                Err(ClientError::Server { status: 404, body }) if body.error == "not_finished" => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Streams the full NDJSON event sequence of a request (blocking until
+    /// it reaches a terminal state).
+    pub fn stream(&self, id: u64) -> Result<Vec<EventLine>, ClientError> {
+        let response = self.call("GET", &format!("/v1/stream/{id}"), None)?;
+        if response.status != 200 {
+            let text = String::from_utf8_lossy(&response.body).into_owned();
+            let value = json::parse(&text).map_err(ClientError::Json)?;
+            let body = ErrorBody::parse(&value).map_err(ClientError::Wire)?;
+            return Err(ClientError::Server {
+                status: response.status,
+                body,
+            });
+        }
+        let text = String::from_utf8_lossy(&response.body).into_owned();
+        let mut events = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let value = json::parse(line).map_err(ClientError::Json)?;
+            events.push(EventLine::parse(&value).map_err(ClientError::Wire)?);
+        }
+        Ok(events)
+    }
+
+    /// Fetches `{running, admitted, capacity}` from `/v1/health`.
+    pub fn health(&self) -> Result<(usize, usize, usize), ClientError> {
+        let response = self.call("GET", "/v1/health", None)?;
+        let value = self.expect_ok(response)?;
+        let field = |name: &str| {
+            value.get(name).and_then(Json::as_usize).ok_or_else(|| {
+                ClientError::Wire(WireError {
+                    field: name.to_string(),
+                    message: "missing or not an integer".to_string(),
+                })
+            })
+        };
+        Ok((field("running")?, field("admitted")?, field("capacity")?))
+    }
+
+    /// Sends raw bytes on a fresh connection and returns the raw response
+    /// — the fault-injection tests use this to deliver torn and malformed
+    /// requests that the typed API cannot produce.
+    pub fn send_raw(&self, bytes: &[u8]) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.write_all(bytes)?;
+        // Half-close the write side so a server waiting for more body
+        // bytes observes the tear immediately.
+        stream.shutdown(std::net::Shutdown::Write)?;
+        read_response(&mut stream).map_err(ClientError::Http)
+    }
+}

@@ -1,0 +1,537 @@
+//! A minimal HTTP/1.1 server-side codec over `std::io` streams.
+//!
+//! Only what the daemon needs: request-line + headers + `Content-Length`
+//! bodies in, status + headers + body (or a close-delimited stream) out.
+//! No chunked transfer encoding, no keep-alive (every response carries
+//! `Connection: close`), no TLS. That subset is deliberately small enough
+//! to be proven correct by round-trip proptests (`tests/proptest_wire.rs`)
+//! and fault-injection tests feeding torn and oversized byte streams.
+//!
+//! Errors are typed ([`HttpError`]) and classify into the response status
+//! the server should send ([`HttpError::status`]): malformed syntax → 400,
+//! oversized head/body → 413, torn input → 400 with a "truncated" message
+//! that names how many bytes were still expected.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on the request head (request line + headers). A legitimate
+/// client sends well under 1 KiB.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on the request body; large QASM payloads fit comfortably.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target path, e.g. `/v1/submit` (query string included
+    /// verbatim if present).
+    pub target: String,
+    /// Header `(name, value)` pairs; names lowercased, order preserved.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A typed HTTP codec error, classified by the status the server should
+/// answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request head or body violates HTTP/1.1 syntax. The offset is the
+    /// byte position within the head where parsing failed.
+    Malformed {
+        /// What went wrong.
+        message: String,
+        /// Byte offset within the request head.
+        offset: usize,
+    },
+    /// The stream ended before the message was complete (torn request).
+    Truncated {
+        /// What was being read when the stream ended.
+        message: String,
+        /// Bytes still expected when the stream ended.
+        missing: usize,
+    },
+    /// The head exceeded [`MAX_HEAD_BYTES`] or the body exceeded the
+    /// configured cap.
+    TooLarge {
+        /// Which part overflowed (`"head"` or `"body"`).
+        what: &'static str,
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// An I/O error from the underlying stream.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed { .. } | HttpError::Truncated { .. } => 400,
+            HttpError::TooLarge { .. } => 413,
+            HttpError::Io(_) => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed { message, offset } => {
+                write!(f, "malformed request: {message} (byte {offset})")
+            }
+            HttpError::Truncated { message, missing } => {
+                write!(f, "truncated request: {message} ({missing} bytes missing)")
+            }
+            HttpError::TooLarge { what, limit } => {
+                write!(f, "request {what} exceeds {limit} bytes")
+            }
+            HttpError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads and parses one HTTP/1.1 request from `stream`, with `max_body`
+/// bounding the accepted `Content-Length`.
+pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let (head, leftover) = read_head(stream)?;
+    let (mut request, content_length) = parse_head(&head)?;
+    if content_length > max_body {
+        return Err(HttpError::TooLarge {
+            what: "body",
+            limit: max_body,
+        });
+    }
+    let mut body = leftover;
+    if body.len() > content_length {
+        return Err(HttpError::Malformed {
+            message: format!("body longer than Content-Length {content_length}"),
+            offset: head.len(),
+        });
+    }
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(HttpError::Truncated {
+                    message: format!(
+                        "body ended after {} of {} bytes",
+                        body.len(),
+                        content_length
+                    ),
+                    missing: content_length - body.len(),
+                })
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+    request.body = body;
+    Ok(request)
+}
+
+/// Reads until the `\r\n\r\n` head terminator, returning the head bytes and
+/// any body bytes that arrived in the same reads.
+fn read_head<R: Read>(stream: &mut R) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf = Vec::with_capacity(1024);
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let body = buf.split_off(end);
+            return Ok((buf, body));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge {
+                what: "head",
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(HttpError::Truncated {
+                    message: if buf.is_empty() {
+                        "stream closed before any request bytes".to_string()
+                    } else {
+                        format!("head ended after {} bytes without \\r\\n\\r\\n", buf.len())
+                    },
+                    missing: 4,
+                })
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Byte offset just past the `\r\n\r\n` terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Parses the request head (which ends with `\r\n\r\n`), returning the
+/// request (body empty) and the declared `Content-Length`.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), HttpError> {
+    let text = std::str::from_utf8(head).map_err(|e| HttpError::Malformed {
+        message: "request head is not valid UTF-8".to_string(),
+        offset: e.valid_up_to(),
+    })?;
+    let mut offset = 0usize;
+    let mut lines = Vec::new();
+    for line in text.split_terminator("\r\n") {
+        lines.push((offset, line));
+        offset += line.len() + 2;
+    }
+    // The head ends "\r\n\r\n", so the final split piece is empty.
+    if lines.last().map(|(_, l)| l.is_empty()) == Some(true) {
+        lines.pop();
+    }
+    let Some(&(_, request_line)) = lines.first() else {
+        return Err(HttpError::Malformed {
+            message: "empty request head".to_string(),
+            offset: 0,
+        });
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || method.bytes().any(|b| !b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed {
+            message: format!("invalid method '{method}'"),
+            offset: 0,
+        });
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed {
+            message: format!("invalid request target '{target}'"),
+            offset: method.len() + 1,
+        });
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed {
+            message: format!("unsupported HTTP version '{version}'"),
+            offset: method.len() + target.len() + 2,
+        });
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed {
+            message: "extra tokens on request line".to_string(),
+            offset: request_line.len(),
+        });
+    }
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for &(line_offset, line) in &lines[1..] {
+        let Some(colon) = line.find(':') else {
+            return Err(HttpError::Malformed {
+                message: format!("header line without ':': '{line}'"),
+                offset: line_offset,
+            });
+        };
+        let name = line[..colon].trim();
+        let value = line[colon + 1..].trim();
+        if name.is_empty() || name.bytes().any(|b| b.is_ascii_whitespace()) {
+            return Err(HttpError::Malformed {
+                message: format!("invalid header name in '{line}'"),
+                offset: line_offset,
+            });
+        }
+        let name = name.to_ascii_lowercase();
+        if name == "content-length" {
+            content_length = value.parse::<usize>().map_err(|_| HttpError::Malformed {
+                message: format!("invalid Content-Length '{value}'"),
+                offset: line_offset + colon + 1,
+            })?;
+        }
+        headers.push((name, value.to_string()));
+    }
+
+    Ok((
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            body: Vec::new(),
+        },
+        content_length,
+    ))
+}
+
+/// Serializes a request to bytes — the exact inverse of [`read_request`]
+/// for well-formed requests; used by the test client and the round-trip
+/// proptests.
+pub fn write_request(request: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(request.method.as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(request.target.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\n");
+    let mut wrote_length = false;
+    for (name, value) in &request.headers {
+        if name == "content-length" {
+            wrote_length = true;
+        }
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    if !wrote_length && !request.body.is_empty() {
+        out.extend_from_slice(format!("content-length: {}\r\n", request.body.len()).as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&request.body);
+    out
+}
+
+/// The reason phrase for the status codes the daemon sends.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a `Content-Length` body and
+/// `Connection: close`.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a streaming response head (no `Content-Length`; the body is
+/// delimited by connection close, NDJSON lines following).
+pub fn write_stream_head<W: Write>(stream: &mut W, content_type: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\nconnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body. For `Content-Length` responses this is exactly
+    /// that many bytes; for close-delimited streams, everything until EOF.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one HTTP response (client side of the test client). Reads to EOF
+/// when no `Content-Length` header is present.
+pub fn read_response<R: Read>(stream: &mut R) -> Result<Response, HttpError> {
+    let (head, leftover) = read_head(stream)?;
+    let text = std::str::from_utf8(&head).map_err(|e| HttpError::Malformed {
+        message: "response head is not valid UTF-8".to_string(),
+        offset: e.valid_up_to(),
+    })?;
+    let mut lines = text.split_terminator("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed {
+            message: format!("invalid status line '{status_line}'"),
+            offset: 0,
+        });
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::Malformed {
+            message: format!("invalid status code in '{status_line}'"),
+            offset: 0,
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some(colon) = line.find(':') else {
+            return Err(HttpError::Malformed {
+                message: format!("response header without ':': '{line}'"),
+                offset: 0,
+            });
+        };
+        let name = line[..colon].trim().to_ascii_lowercase();
+        let value = line[colon + 1..].trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse::<usize>().ok();
+        }
+        headers.push((name, value));
+    }
+    let mut body = leftover;
+    match content_length {
+        Some(len) => {
+            while body.len() < len {
+                let mut chunk = [0u8; 4096];
+                let want = (len - body.len()).min(chunk.len());
+                match stream.read(&mut chunk[..want]) {
+                    Ok(0) => {
+                        return Err(HttpError::Truncated {
+                            message: format!(
+                                "response body ended after {} of {len} bytes",
+                                body.len()
+                            ),
+                            missing: len - body.len(),
+                        })
+                    }
+                    Ok(n) => body.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(HttpError::Io(e.to_string())),
+                }
+            }
+            body.truncate(len);
+        }
+        None => {
+            let mut rest = Vec::new();
+            stream
+                .read_to_end(&mut rest)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            body.extend_from_slice(&rest);
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/submit HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut Cursor::new(&raw[..]), DEFAULT_MAX_BODY_BYTES).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/submit");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn request_round_trips_through_writer() {
+        let req = Request {
+            method: "POST".to_string(),
+            target: "/v1/submit".to_string(),
+            headers: vec![
+                ("host".to_string(), "localhost".to_string()),
+                ("content-length".to_string(), "4".to_string()),
+            ],
+            body: b"body".to_vec(),
+        };
+        let bytes = write_request(&req);
+        let parsed = read_request(&mut Cursor::new(bytes), DEFAULT_MAX_BODY_BYTES).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn torn_body_reports_missing_bytes() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 100\r\n\r\nonly-a-few";
+        let err = read_request(&mut Cursor::new(&raw[..]), DEFAULT_MAX_BODY_BYTES).unwrap_err();
+        match err {
+            HttpError::Truncated { missing, .. } => assert_eq!(missing, 90),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn torn_head_is_truncated_not_malformed() {
+        let raw = b"POST /v1/su";
+        let err = read_request(&mut Cursor::new(&raw[..]), DEFAULT_MAX_BODY_BYTES).unwrap_err();
+        assert!(matches!(err, HttpError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n";
+        let err = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET / SPDY/99\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GET / HTTP/1.1\r\nbroken header line\r\n\r\n",
+        ] {
+            let err =
+                read_request(&mut Cursor::new(raw.as_bytes()), DEFAULT_MAX_BODY_BYTES).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed { .. }), "{raw}: {err:?}");
+            assert_eq!(err.status(), 400);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "application/json", b"{\"error\":\"full\"}").unwrap();
+        let resp = read_response(&mut Cursor::new(out)).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body, b"{\"error\":\"full\"}");
+    }
+}

@@ -64,8 +64,11 @@ fn main() {
     let start = Instant::now();
     let results = service.optimize_batch_with_progress(&batch, |event| {
         println!(
-            "  [{:>8.2?}] {:<14} improved to {:>3} gates (iteration {})",
-            event.elapsed, names[event.circuit_id], event.best_cost, event.iterations
+            "  [step {:>5}] {:<14} improved to {:>3} gates (iteration {})",
+            event.step,
+            names[event.request.index()],
+            event.best_cost,
+            event.iterations
         );
     });
     let elapsed = start.elapsed();

@@ -1,0 +1,64 @@
+//! Quickstart for `quartz-serve`: boot the optimization daemon in-process,
+//! submit a circuit over HTTP with the bundled test client, stream its
+//! improvement events, and fetch the finished result.
+//!
+//! Run with `cargo run --release --example serve_quickstart`.
+//!
+//! In production the daemon runs standalone (`cargo run --release -p
+//! quartz-serve --bin quartz-serve -- --addr 127.0.0.1:7878`) against the
+//! committed `libraries/*.qtzl` artifacts; this example generates a small
+//! transformation index instead so it works from a bare checkout.
+
+use quartz::gen::{GenConfig, Generator};
+use quartz::ir::GateSet;
+use quartz::opt::Optimizer;
+use quartz::serve::{Client, Daemon, DaemonConfig, Server, SubmitRequest};
+
+fn main() {
+    // 1. A daemon over a freshly generated NAM index. With
+    //    `DaemonConfig::default()` and `Daemon::new`, the server would
+    //    instead route each request's `gate_set` to its committed `.qtzl`
+    //    artifact (NAM eagerly at boot, IBM/Rigetti lazily on first use).
+    let (ecc, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 0)).run();
+    let mut config = DaemonConfig::with_capacity(8);
+    config.route_libraries = false;
+    let optimizer = Optimizer::from_ecc_set(&ecc, config.search.clone());
+    let daemon = Daemon::with_optimizer(optimizer, config);
+
+    // 2. Serve it on an ephemeral port.
+    let server = Server::bind("127.0.0.1:0", daemon).expect("bind");
+    println!("quartz-serve listening on http://{}\n", server.addr());
+
+    // 3. Submit a circuit. The cancelling CNOT pair is separated by an X
+    //    on the target wire, so only the search (not preprocessing) can
+    //    reduce it — guaranteeing visible improvement events.
+    let client = Client::new(server.addr());
+    let mut request = SubmitRequest::new(
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n\
+         cx q[0],q[1];\nx q[1];\ncx q[0],q[1];\nx q[1];\n",
+    );
+    request.budget = Some(30);
+    let id = client.submit(&request).expect("submit");
+    println!("submitted request {id} (budget 30)");
+
+    // 4. Stream improvements: NDJSON lines carrying deterministic step
+    //    ordinals, not timestamps — the same request replays the same
+    //    sequence on any server.
+    for event in client.stream(id).expect("stream") {
+        println!(
+            "  step {:>3}: best cost {} after {} iterations",
+            event.step, event.best_cost, event.iterations
+        );
+    }
+
+    // 5. Fetch the terminal result.
+    let result = client.wait_result(id).expect("result");
+    println!(
+        "\nrequest {id} {}: {} -> {} gates in {} iterations",
+        result.state.name(),
+        result.outcome.initial_cost,
+        result.outcome.best_cost,
+        result.outcome.iterations
+    );
+    println!("optimized QASM:\n{}", result.outcome.best_qasm);
+}

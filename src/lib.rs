@@ -16,6 +16,7 @@
 //! | [`gen`] | `quartz-gen` | §3, §5 — RepGen and pruning |
 //! | [`opt`] | `quartz-opt` | §6, §7.1 — optimizer and preprocessing |
 //! | [`circuits`] | `quartz-circuits` | §7.2 — benchmark suite |
+//! | [`serve`] | `quartz-serve` | optimization-as-a-service daemon (DESIGN.md §10) |
 //!
 //! # Quickstart
 //!
@@ -73,4 +74,10 @@ pub mod opt {
 /// The benchmark circuit suite (paper §7.2).
 pub mod circuits {
     pub use quartz_circuits::*;
+}
+
+/// The long-running optimization daemon: HTTP/1.1 + JSON front-end over
+/// the admission-capable scheduler (DESIGN.md §10).
+pub mod serve {
+    pub use quartz_serve::*;
 }

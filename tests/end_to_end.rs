@@ -232,7 +232,7 @@ fn service_batch_is_bit_identical_to_standalone_optimizer_runs() {
         // (minus its initial entry).
         let streamed: Vec<usize> = events
             .iter()
-            .filter(|e| e.circuit_id == id)
+            .filter(|e| e.request.index() == id)
             .map(|e| e.best_cost)
             .collect();
         assert_eq!(streamed, batched_trace[1..].to_vec(), "circuit {id}");
@@ -495,4 +495,133 @@ fn fingerprint_prefilter_service_batch_is_bit_identical_with_it_off() {
         "expected the preview to avoid at least half of duplicate \
          materializations: avoided {avoided} of {dedup_hits}"
     );
+}
+
+/// PR 7 acceptance (DESIGN.md §10): the daemon's response outcomes are
+/// bit-identical across server thread counts and admission orders, and
+/// equal to standalone `Optimizer` runs under the same budgets — including
+/// while other tenants on the same daemon are being fault-injected (torn
+/// requests, malformed JSON, oversized bodies, a cancelled hog).
+#[test]
+fn serve_outcomes_are_identical_across_threads_orders_and_faults() {
+    use quartz::ir::{parse_qasm, to_qasm};
+    use quartz::opt::Priority;
+    use quartz::serve::wire::Outcome;
+    use quartz::serve::{Client, Daemon, DaemonConfig, Server, SubmitRequest};
+
+    let set = nam_ecc_set(2, 2, 0);
+
+    // Independent copies of a motif the search (but not preprocessing) can
+    // cancel, on varying widths; plus one real benchmark.
+    let motif = |qubits: usize, reps: usize| {
+        let mut qasm = format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{qubits}];\n");
+        for _ in 0..reps {
+            for pair in 0..qubits / 2 {
+                let (a, b) = (2 * pair, 2 * pair + 1);
+                qasm.push_str(&format!(
+                    "cx q[{a}],q[{b}];\nx q[{b}];\ncx q[{a}],q[{b}];\nx q[{b}];\n"
+                ));
+            }
+        }
+        qasm
+    };
+    let mix: Vec<(String, usize, Priority)> = vec![
+        (motif(2, 1), 20, Priority::Normal),
+        (motif(4, 2), 14, Priority::High),
+        (
+            to_qasm(&suite::build_clifford_t("tof_3").unwrap()),
+            10,
+            Priority::Low,
+        ),
+        (motif(6, 1), 8, Priority::Normal),
+    ];
+
+    // batch_size > 1 makes `num_threads` load-bearing: parallel expansion
+    // with ordered merge is exactly the mechanism the thread-invariance
+    // claim rests on.
+    let search = |threads: usize| SearchConfig {
+        timeout: Duration::from_secs(600),
+        batch_size: 4,
+        num_threads: threads,
+        ..SearchConfig::default()
+    };
+    let make_server = |threads: usize| {
+        let mut config = DaemonConfig::with_capacity(16);
+        config.route_libraries = false;
+        config.search = search(threads);
+        let optimizer = Optimizer::from_ecc_set(&set, config.search.clone());
+        Server::bind("127.0.0.1:0", Daemon::with_optimizer(optimizer, config)).unwrap()
+    };
+
+    // Standalone references, single-threaded.
+    let reference = Optimizer::from_ecc_set(&set, search(1));
+    let expected: Vec<Outcome> = mix
+        .iter()
+        .map(|(qasm, budget, _)| {
+            let circuit = preprocess_nam(&parse_qasm(qasm).unwrap());
+            Outcome::from_result(&reference.optimize_with_budget(&circuit, *budget))
+        })
+        .collect();
+
+    // Server A: one expansion thread, mix admitted in order, no faults.
+    let server_a = make_server(1);
+    let client_a = Client::new(server_a.addr());
+    let ids_a: Vec<u64> = mix
+        .iter()
+        .map(|(qasm, budget, priority)| {
+            let mut request = SubmitRequest::new(qasm.clone());
+            request.budget = Some(*budget);
+            request.priority = *priority;
+            client_a.submit(&request).unwrap()
+        })
+        .collect();
+
+    // Server B: four expansion threads, mix admitted in *reverse* order,
+    // with faults landing on other tenants between admissions.
+    let server_b = make_server(4);
+    let client_b = Client::new(server_b.addr());
+    let mut ids_b: Vec<u64> = Vec::new();
+    for (i, (qasm, budget, priority)) in mix.iter().enumerate().rev() {
+        let mut request = SubmitRequest::new(qasm.clone());
+        request.budget = Some(*budget);
+        request.priority = *priority;
+        ids_b.push(client_b.submit(&request).unwrap());
+        match i % 4 {
+            0 => {
+                // A hog tenant admitted mid-run and cancelled moments later.
+                let hog = client_b.submit(&SubmitRequest::new(motif(8, 2))).unwrap();
+                client_b.cancel(hog).unwrap();
+            }
+            1 => {
+                let resp = client_b.send_raw(b"POST /v1/subm").unwrap();
+                assert_eq!(resp.status, 400);
+            }
+            2 => {
+                let resp = client_b
+                    .send_raw(b"POST /v1/submit HTTP/1.1\r\ncontent-length: 7\r\n\r\n{oops")
+                    .unwrap();
+                assert_eq!(resp.status, 400);
+            }
+            _ => {
+                let resp = client_b
+                    .send_raw(b"POST /v1/submit HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n")
+                    .unwrap();
+                assert_eq!(resp.status, 413);
+            }
+        }
+    }
+    ids_b.reverse(); // back to mix order
+
+    for (i, (id_a, id_b)) in ids_a.iter().zip(&ids_b).enumerate() {
+        let outcome_a = client_a.wait_result(*id_a).unwrap().outcome;
+        let outcome_b = client_b.wait_result(*id_b).unwrap().outcome;
+        assert_eq!(
+            outcome_a, expected[i],
+            "request {i}: 1-thread server diverged from standalone"
+        );
+        assert_eq!(
+            outcome_b, expected[i],
+            "request {i}: 4-thread reverse-order fault-ridden server diverged"
+        );
+    }
 }
