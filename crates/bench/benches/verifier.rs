@@ -1,66 +1,18 @@
 //! Criterion micro-benchmarks for the equivalence verifier (paper §4): the
 //! cost of a single exact equivalence query for representative identities.
+//!
+//! The same query pairs ([`quartz_bench::verifier_bench_pairs`]) are timed
+//! by `service_throughput` into the `verifier` suite of
+//! `BENCH_search.json`, so the CI perf artifact carries these numbers too.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use quartz_ir::{Circuit, Gate, Instruction, ParamExpr};
+use quartz_bench::verifier_bench_pairs;
 use quartz_verify::Verifier;
-
-fn cnot_flip_pair() -> (Circuit, Circuit) {
-    let mut lhs = Circuit::new(2, 0);
-    for q in [0, 1] {
-        lhs.push(Instruction::new(Gate::H, vec![q], vec![]));
-    }
-    lhs.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
-    for q in [0, 1] {
-        lhs.push(Instruction::new(Gate::H, vec![q], vec![]));
-    }
-    let mut rhs = Circuit::new(2, 0);
-    rhs.push(Instruction::new(Gate::Cnot, vec![1, 0], vec![]));
-    (lhs, rhs)
-}
-
-fn rotation_merge_pair() -> (Circuit, Circuit) {
-    let m = 2;
-    let mut two = Circuit::new(1, m);
-    two.push(Instruction::new(
-        Gate::Rz,
-        vec![0],
-        vec![ParamExpr::var(0, m)],
-    ));
-    two.push(Instruction::new(
-        Gate::Rz,
-        vec![0],
-        vec![ParamExpr::var(1, m)],
-    ));
-    let mut fused = Circuit::new(1, m);
-    fused.push(Instruction::new(
-        Gate::Rz,
-        vec![0],
-        vec![ParamExpr::sum_vars(0, 1, m)],
-    ));
-    (two, fused)
-}
-
-fn three_qubit_pair() -> (Circuit, Circuit) {
-    // CCX decomposed as H-CCZ-H versus the plain Toffoli.
-    let mut lhs = Circuit::new(3, 0);
-    lhs.push(Instruction::new(Gate::H, vec![2], vec![]));
-    lhs.push(Instruction::new(Gate::Ccz, vec![0, 1, 2], vec![]));
-    lhs.push(Instruction::new(Gate::H, vec![2], vec![]));
-    let mut rhs = Circuit::new(3, 0);
-    rhs.push(Instruction::new(Gate::Ccx, vec![0, 1, 2], vec![]));
-    (lhs, rhs)
-}
 
 fn bench_verifier(c: &mut Criterion) {
     let mut group = c.benchmark_group("verifier");
     group.sample_size(20);
-    let cases = [
-        ("cnot_flip_2q", cnot_flip_pair()),
-        ("rotation_merge_parametric", rotation_merge_pair()),
-        ("toffoli_ccz_3q", three_qubit_pair()),
-    ];
-    for (name, (a, b)) in cases {
+    for (name, a, b) in verifier_bench_pairs() {
         group.bench_function(name, |bench| {
             bench.iter(|| {
                 let mut verifier = Verifier::default();

@@ -482,6 +482,29 @@ fn main() {
         100.0 * avoided_rate,
     );
 
+    // Verifier query timings (paper §4): the same representative identities
+    // `benches/verifier.rs` measures, recorded so the committed perf
+    // artifact carries verification cost next to search cost. Keys are
+    // timing-shaped (`_secs` / `_per_sec`), which `bench_diff` skips.
+    println!("\n== Verifier query cost (paper §4) ==");
+    let verifier_suite = report.suite("verifier");
+    for (name, a, b) in quartz_bench::verifier_bench_pairs() {
+        const QUERIES: u32 = 20;
+        let start = Instant::now();
+        for _ in 0..QUERIES {
+            let mut verifier = quartz_verify::Verifier::default();
+            assert!(
+                std::hint::black_box(verifier.check(&a, &b).expect("bench pair must verify")),
+                "{name}: bench pair must be equivalent"
+            );
+        }
+        let secs = start.elapsed().as_secs_f64() / f64::from(QUERIES);
+        println!("{name:>28} {:>12.3?}/query", Duration::from_secs_f64(secs));
+        verifier_suite
+            .metric(&format!("{name}_secs"), secs)
+            .metric(&format!("{name}_per_sec"), 1.0 / secs.max(1e-12));
+    }
+
     match report.write(BENCH_SEARCH_FILE) {
         Ok(()) => println!("Wrote {BENCH_SEARCH_FILE} ({} suites)", report.len()),
         Err(e) => println!("warning: could not write {BENCH_SEARCH_FILE}: {e}"),

@@ -235,6 +235,62 @@ pub fn libraries_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../libraries")
 }
 
+/// The representative verifier queries (paper §4) measured both by the
+/// criterion micro-benchmark (`benches/verifier.rs`) and by the `verifier`
+/// suite `service_throughput` records into `BENCH_search.json`: a
+/// parameter-free 2-qubit identity, a parametric rotation merge, and a
+/// 3-qubit Toffoli/CCZ identity. Each pair is equivalent, so the timing
+/// covers the full prefilter → phase-candidate → exact-polynomial path.
+pub fn verifier_bench_pairs() -> Vec<(&'static str, Circuit, Circuit)> {
+    use quartz_ir::{Gate, Instruction, ParamExpr};
+
+    // CNOT direction flip via Hadamard conjugation (Figure 3a).
+    let mut sandwich = Circuit::new(2, 0);
+    for q in [0, 1] {
+        sandwich.push(Instruction::new(Gate::H, vec![q], vec![]));
+    }
+    sandwich.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+    for q in [0, 1] {
+        sandwich.push(Instruction::new(Gate::H, vec![q], vec![]));
+    }
+    let mut flipped = Circuit::new(2, 0);
+    flipped.push(Instruction::new(Gate::Cnot, vec![1, 0], vec![]));
+
+    // Adjacent rotation merge: Rz(p0) Rz(p1) = Rz(p0 + p1).
+    let m = 2;
+    let mut two = Circuit::new(1, m);
+    two.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::var(0, m)],
+    ));
+    two.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::var(1, m)],
+    ));
+    let mut fused = Circuit::new(1, m);
+    fused.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::sum_vars(0, 1, m)],
+    ));
+
+    // CCX decomposed as H-CCZ-H versus the plain Toffoli.
+    let mut hczh = Circuit::new(3, 0);
+    hczh.push(Instruction::new(Gate::H, vec![2], vec![]));
+    hczh.push(Instruction::new(Gate::Ccz, vec![0, 1, 2], vec![]));
+    hczh.push(Instruction::new(Gate::H, vec![2], vec![]));
+    let mut toffoli = Circuit::new(3, 0);
+    toffoli.push(Instruction::new(Gate::Ccx, vec![0, 1, 2], vec![]));
+
+    vec![
+        ("cnot_flip_2q", sandwich, flipped),
+        ("rotation_merge_parametric", two, fused),
+        ("toffoli_ccz_3q", hczh, toffoli),
+    ]
+}
+
 /// Conventional artifact path for a gate set at `(n, q)`:
 /// `libraries/<gateset>_n<N>_q<Q>.qtzl` (the parameter count `m` is the
 /// paper's per-gate-set default, [`GateSetKind::num_params`]).

@@ -21,13 +21,36 @@
 //!     --deep, additionally decode the payload, re-pack it with the current
 //!     generator pipeline, and require byte-identical output (catches a
 //!     stale prebuilt index or a stale encoder).
+//!
+//! quartz-lib audit FILE [--json] [--no-cache] [--write-stamp]
+//!                  [--expect-full-cache] [--threads N]
+//!     Run the static analyzer (DESIGN.md §11) over an artifact: re-verify
+//!     every equivalence class semantically (parallel, with the
+//!     FILE.audit sidecar as verified-cache unless --no-cache) and apply
+//!     the structural lints. Errors exit 1, warnings don't. --write-stamp
+//!     records a clean audit in the sidecar; --expect-full-cache fails
+//!     unless every class was served from the cache (CI uses it to prove
+//!     the sidecar is live); --json prints the machine-readable report.
+//!
+//! quartz-lib mutate --in FILE --out FILE
+//!     Corrupt one transformation semantically — replace a single
+//!     instruction's gate in one class member — and re-pack with a *valid*
+//!     checksum. The output is indistinguishable from a sound artifact to
+//!     every integrity check and must be caught by `audit` alone (the CI
+//!     seeded-mutation check greps the printed location out of the audit
+//!     report).
 //! ```
 //!
 //! Exits 0 on success, 1 on any validation or I/O failure, 2 on a usage
 //! error.
 
-use quartz_gen::{prune, EccSet, GenConfig, Generator, Library, LibraryReader, GENERATOR_VERSION};
-use quartz_ir::GateSet;
+use quartz_gen::{
+    prune, AuditConfig, AuditStamp, Auditor, Ecc, EccSet, GenConfig, Generator, Library,
+    LibraryReader, GENERATOR_VERSION,
+};
+use quartz_ir::{Circuit, GateSet, Instruction, ALL_GATES};
+use quartz_verify::Verifier;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -42,6 +65,8 @@ fn main() -> ExitCode {
         "unpack" => unpack(rest),
         "inspect" => inspect(rest),
         "verify-checksum" => verify_checksum(rest),
+        "audit" => audit(rest),
+        "mutate" => mutate(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -69,7 +94,9 @@ const USAGE: &str = "usage:
   quartz-lib pack --in SET.json --out SET.qtzl [--gate-set NAME] [--no-index]
   quartz-lib unpack --in SET.qtzl --out SET.json
   quartz-lib inspect FILE
-  quartz-lib verify-checksum FILE [--deep]";
+  quartz-lib verify-checksum FILE [--deep]
+  quartz-lib audit FILE [--json] [--no-cache] [--write-stamp] [--expect-full-cache] [--threads N]
+  quartz-lib mutate --in FILE --out FILE";
 
 enum Failure {
     Usage(String),
@@ -291,6 +318,156 @@ fn inspect(args: &[String]) -> Result<(), Failure> {
         println!("  anchor buckets:     {populated} populated");
     }
     Ok(())
+}
+
+fn audit(args: &[String]) -> Result<(), Failure> {
+    let mut args = Args::new(args);
+    let json = args.switch("--json");
+    let no_cache = args.switch("--no-cache");
+    let write_stamp = args.switch("--write-stamp");
+    let expect_full_cache = args.switch("--expect-full-cache");
+    let threads = match args.value_of("--threads")? {
+        Some(v) => parse_number("--threads", v)?,
+        None => 0,
+    };
+    let path = args
+        .positional()
+        .ok_or_else(|| usage("missing artifact path"))?
+        .to_string();
+    args.finish()?;
+
+    let auditor = Auditor::new(AuditConfig {
+        threads,
+        ..AuditConfig::default()
+    });
+    let report = auditor
+        .audit_artifact(Path::new(&path), !no_cache)
+        .map_err(runtime)?;
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if expect_full_cache && report.cache_hits < report.classes {
+        return Err(runtime(format!(
+            "{path}: expected every class to hit the verified-cache, but only {}/{} did \
+             (stale or missing {path}.audit sidecar?)",
+            report.cache_hits, report.classes
+        )));
+    }
+    if let Some(stamp) = report.stamp() {
+        if write_stamp {
+            stamp
+                .save_for(Path::new(&path))
+                .map_err(|e| runtime(format!("writing sidecar: {e}")))?;
+            eprintln!(
+                "wrote {} ({} class digests)",
+                AuditStamp::sidecar_path(Path::new(&path)).display(),
+                stamp.class_digests.len()
+            );
+        }
+        Ok(())
+    } else {
+        Err(runtime(format!(
+            "{path}: audit failed with {} error(s)",
+            report.errors()
+        )))
+    }
+}
+
+/// Same-shape replacement gates for `instr`, preferring gates *outside*
+/// `gate_set` so the mutation also trips the instruction-level gate-set
+/// lint (which carries the full ecc/circuit/instruction location).
+fn replacement_gates(instr: &Instruction, gate_set: Option<&GateSet>) -> Vec<quartz_ir::Gate> {
+    let mut candidates: Vec<quartz_ir::Gate> = ALL_GATES
+        .into_iter()
+        .filter(|g| {
+            *g != instr.gate
+                && g.num_qubits() == instr.qubits.len()
+                && g.num_params() == instr.params.len()
+        })
+        .collect();
+    if let Some(gs) = gate_set {
+        candidates.sort_by_key(|g| gs.contains(*g));
+    }
+    candidates
+}
+
+fn mutate(args: &[String]) -> Result<(), Failure> {
+    let mut args = Args::new(args);
+    let input = args.required("--in")?.to_string();
+    let out = args.required("--out")?.to_string();
+    args.finish()?;
+
+    let library = Library::load(&input).map_err(runtime)?;
+    let header = library.header().clone();
+    let set = library.ecc_set().clone();
+    let gate_set = gate_set_by_name(&header.gate_set).ok();
+
+    // Find the first (class, member, instruction, replacement gate) whose
+    // mutation the verifier can prove unsound against the representative.
+    // `Ecc::new` re-sorts circuits by precedence, so the printed location
+    // uses the mutant's *post-sort* index — the one the audit reports.
+    for (e, ecc) in set.eccs.iter().enumerate() {
+        if ecc.len() < 2 {
+            continue;
+        }
+        for c in 1..ecc.len() {
+            let original = &ecc.circuits()[c];
+            for (i, instr) in original.instructions().iter().enumerate() {
+                for gate in replacement_gates(instr, gate_set.as_ref()) {
+                    let mut mutated = Circuit::new(original.num_qubits(), original.num_params());
+                    for (k, ins) in original.instructions().iter().enumerate() {
+                        mutated.push(if k == i {
+                            Instruction::new(gate, ins.qubits.clone(), ins.params.clone())
+                        } else {
+                            ins.clone()
+                        });
+                    }
+                    // The mutation must be provably unsound, and must not
+                    // collide with another member (which would make the
+                    // post-sort index ambiguous).
+                    let mut verifier = Verifier::default();
+                    let still_equivalent = verifier
+                        .check(ecc.representative(), &mutated)
+                        .unwrap_or(true);
+                    if still_equivalent || ecc.circuits().contains(&mutated) {
+                        continue;
+                    }
+                    let mut circuits = ecc.circuits().to_vec();
+                    circuits[c] = mutated.clone();
+                    let new_ecc = Ecc::new(circuits);
+                    let new_idx = new_ecc
+                        .circuits()
+                        .iter()
+                        .position(|cc| *cc == mutated)
+                        .expect("the mutant was just inserted");
+                    if new_idx == 0 {
+                        // The mutant sorted into the representative slot;
+                        // the audit would blame the other members. Pick a
+                        // different site for an unambiguous location.
+                        continue;
+                    }
+                    let mut new_set = set.clone();
+                    new_set.eccs[e] = new_ecc;
+                    let mutated_library =
+                        Library::new(header.gate_set.clone(), new_set, header.has_index());
+                    mutated_library.save(&out).map_err(runtime)?;
+                    println!(
+                        "mutated {input} -> {out}: class {e} member {c}, instruction {i} \
+                         {:?} -> {gate:?} (checksum re-packed: {:#018x})",
+                        instr.gate,
+                        mutated_library.header().checksum
+                    );
+                    println!("location: ecc {e} / circuit {new_idx} / instruction {i}");
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Err(runtime(format!(
+        "{input}: found no instruction whose mutation the verifier can prove unsound"
+    )))
 }
 
 fn verify_checksum(args: &[String]) -> Result<(), Failure> {

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 mod count;
 mod ecc;
 mod index;
@@ -55,6 +56,9 @@ mod prune;
 mod repgen;
 mod xform;
 
+pub use audit::{
+    AuditConfig, AuditReport, AuditStamp, Auditor, Diagnostic, Location, RuleCode, Severity,
+};
 pub use count::{count_possible_circuits, count_sequences_by_size};
 pub use ecc::{Ecc, EccSet};
 pub use index::{IndexScratch, TransformationIndex};

@@ -160,6 +160,13 @@ pub enum LibraryError {
     },
     /// The body decoded to something structurally invalid.
     Malformed(String),
+    /// The loader requires a live audit stamp
+    /// ([`crate::AuditStamp::certifies`]) but the artifact has none — the
+    /// sidecar is missing, stale, or records a failed audit.
+    NotAudited {
+        /// The artifact path, as given to the loader.
+        path: String,
+    },
     /// An I/O error, with the offending path in the message.
     Io(io::Error),
 }
@@ -182,6 +189,11 @@ impl fmt::Display for LibraryError {
                 "artifact checksum mismatch: header says {expected:#018x}, content hashes to {found:#018x}"
             ),
             LibraryError::Malformed(msg) => write!(f, "malformed library artifact: {msg}"),
+            LibraryError::NotAudited { path } => write!(
+                f,
+                "{path}: no live audit stamp — run `quartz-lib audit {path} --write-stamp` \
+                 (the loader was configured to require audited artifacts)"
+            ),
             LibraryError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -324,7 +336,7 @@ fn cast_u16(what: &str, n: usize) -> u16 {
     u16::try_from(n).unwrap_or_else(|_| panic!("{what} ({n}) exceeds the format's u16 limit"))
 }
 
-fn encode_circuit(out: &mut Vec<u8>, circuit: &Circuit) {
+pub(crate) fn encode_circuit(out: &mut Vec<u8>, circuit: &Circuit) {
     put_u16(out, cast_u16("circuit qubit count", circuit.num_qubits()));
     put_u16(
         out,

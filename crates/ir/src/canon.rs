@@ -1,0 +1,104 @@
+//! The canonical sequence form used to deduplicate circuits during search
+//! (paper §6).
+//!
+//! [`canonicalize`] historically lived in `quartz-opt` next to the search
+//! that consumes it; it moved here (and is re-exported by `quartz-opt`)
+//! because it is a pure function of the wire-dependency DAG, and the library
+//! auditor in `quartz-gen` needs it to lint persisted pattern circuits for
+//! canonicality without depending on the optimizer.
+
+use crate::Circuit;
+
+/// Produces a canonical sequence representation of a circuit: the
+/// lexicographically smallest topological order of its gate DAG.
+///
+/// Circuits that are merely different sequence representations of the same
+/// DAG canonicalize to the same sequence, which keeps the optimizer's
+/// seen-set (D_seen in Algorithm 2) from revisiting reorderings.
+pub fn canonicalize(circuit: &Circuit) -> Circuit {
+    let instrs = circuit.instructions();
+    let n = instrs.len();
+    let preds = circuit.wire_predecessors();
+    // in-degree in the wire-dependency DAG
+    let mut indegree = vec![0usize; n];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for p in ps.iter().flatten() {
+            indegree[i] += 1;
+            successors[*p].push(i);
+        }
+    }
+    let mut available: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_params());
+    let mut emitted = 0;
+    while emitted < n {
+        // Pick the smallest available instruction (by instruction ordering,
+        // then by original index for determinism).
+        let (pos, &best) = available
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| instrs[a].cmp(&instrs[b]).then(a.cmp(&b)))
+            .expect("the dependency DAG of a circuit is acyclic");
+        available.swap_remove(pos);
+        out.push(instrs[best].clone());
+        emitted += 1;
+        for &s in &successors[best] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                available.push(s);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::equivalent_up_to_phase;
+    use crate::Gate;
+
+    fn instruction(gate: Gate, qubits: &[usize]) -> crate::Instruction {
+        crate::Instruction::new(gate, qubits.to_vec(), vec![])
+    }
+
+    fn h(q: usize) -> crate::Instruction {
+        instruction(Gate::H, &[q])
+    }
+
+    #[test]
+    fn canonicalize_identifies_reorderings() {
+        // X on qubit 1 and H on qubit 0 commute; both orders canonicalize to
+        // the same sequence.
+        let mut a = Circuit::new(2, 0);
+        a.push(instruction(Gate::X, &[1]));
+        a.push(h(0));
+        let mut b = Circuit::new(2, 0);
+        b.push(h(0));
+        b.push(instruction(Gate::X, &[1]));
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        assert!(equivalent_up_to_phase(&canonicalize(&a), &a, &[], 1e-10));
+    }
+
+    #[test]
+    fn canonicalize_respects_dependencies() {
+        let mut c = Circuit::new(2, 0);
+        c.push(h(0));
+        c.push(instruction(Gate::Cnot, &[0, 1]));
+        c.push(h(1));
+        let canon = canonicalize(&c);
+        assert!(equivalent_up_to_phase(&canon, &c, &[], 1e-10));
+        // The CNOT cannot move before the H on its control.
+        let pos_h0 = canon
+            .instructions()
+            .iter()
+            .position(|i| *i == h(0))
+            .unwrap();
+        let pos_cx = canon
+            .instructions()
+            .iter()
+            .position(|i| i.gate == Gate::Cnot)
+            .unwrap();
+        assert!(pos_h0 < pos_cx);
+    }
+}

@@ -1,0 +1,125 @@
+//! Cost models for the optimizer's search (paper §6).
+//!
+//! The paper's evaluation uses total gate count; alternative metrics (CNOT
+//! count, T count, depth) are provided because the search algorithm is
+//! generic in the cost function (footnote 2 of the paper).
+//!
+//! [`CostModel`] lives in the IR crate (rather than `quartz-opt`, where the
+//! search that consumes it runs) because it is a pure function of circuits
+//! and instructions: the library auditor in `quartz-gen` uses it to prove
+//! rewrite rules dead under the additive models without depending on the
+//! optimizer. `quartz-opt` re-exports it, so optimizer-facing code is
+//! unaffected by the move.
+
+use crate::{Circuit, Gate};
+use serde::{Deserialize, Serialize};
+
+/// A cost model mapping circuits to a non-negative cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CostModel {
+    /// Total number of gates (the metric used in the paper's evaluation).
+    #[default]
+    GateCount,
+    /// Number of two-qubit (and larger) gates.
+    MultiQubitGateCount,
+    /// Number of T/T† gates.
+    TCount,
+    /// Circuit depth.
+    Depth,
+}
+
+impl CostModel {
+    /// The models that are additive over gates, i.e. exactly those for which
+    /// [`CostModel::is_additive`] holds. The optimizer's γ-precheck and the
+    /// auditor's dead-rule lint quantify over this set.
+    pub const ADDITIVE: [CostModel; 3] = [
+        CostModel::GateCount,
+        CostModel::MultiQubitGateCount,
+        CostModel::TCount,
+    ];
+
+    /// The cost of a circuit under this model.
+    pub fn cost(&self, circuit: &Circuit) -> usize {
+        match self {
+            CostModel::GateCount => circuit.gate_count(),
+            CostModel::MultiQubitGateCount => circuit.multi_qubit_gate_count(),
+            CostModel::TCount => circuit.count_gate(Gate::T) + circuit.count_gate(Gate::Tdg),
+            CostModel::Depth => circuit.depth(),
+        }
+    }
+
+    /// Whether this model is additive over gates
+    /// ([`CostModel::instruction_cost`] returns `Some` for every
+    /// instruction).
+    pub fn is_additive(&self) -> bool {
+        !matches!(self, CostModel::Depth)
+    }
+
+    /// The cost contribution of a single instruction, for models that are
+    /// additive over gates — `None` for models that are not (depth). When
+    /// `Some`, `cost(circuit) == Σ instruction_cost(instr)`, which lets the
+    /// search compute a rewrite candidate's cost in O(rewrite footprint)
+    /// from its parent's cost and γ-reject it *before* materializing and
+    /// canonicalizing the candidate circuit.
+    pub fn instruction_cost(&self, instr: &crate::Instruction) -> Option<usize> {
+        match self {
+            CostModel::GateCount => Some(1),
+            CostModel::MultiQubitGateCount => Some(usize::from(instr.gate.num_qubits() >= 2)),
+            CostModel::TCount => Some(usize::from(matches!(instr.gate, Gate::T | Gate::Tdg))),
+            CostModel::Depth => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instruction;
+
+    #[test]
+    fn cost_models_disagree_where_expected() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::new(Gate::T, vec![0], vec![]));
+        c.push(Instruction::new(Gate::T, vec![1], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        assert_eq!(CostModel::GateCount.cost(&c), 3);
+        assert_eq!(CostModel::MultiQubitGateCount.cost(&c), 1);
+        assert_eq!(CostModel::TCount.cost(&c), 2);
+        assert_eq!(CostModel::Depth.cost(&c), 2);
+        assert_eq!(CostModel::default(), CostModel::GateCount);
+    }
+
+    #[test]
+    fn additive_list_matches_predicate() {
+        for model in CostModel::ADDITIVE {
+            assert!(model.is_additive(), "{model:?}");
+        }
+        assert!(!CostModel::Depth.is_additive());
+    }
+
+    #[test]
+    fn additive_models_sum_instruction_costs() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::new(Gate::T, vec![0], vec![]));
+        c.push(Instruction::new(Gate::Tdg, vec![1], vec![]));
+        c.push(Instruction::new(Gate::Cnot, vec![0, 1], vec![]));
+        c.push(Instruction::new(Gate::H, vec![0], vec![]));
+        for model in [
+            CostModel::GateCount,
+            CostModel::MultiQubitGateCount,
+            CostModel::TCount,
+        ] {
+            let summed: usize = c
+                .instructions()
+                .iter()
+                .map(|i| model.instruction_cost(i).expect("additive"))
+                .sum();
+            assert_eq!(summed, model.cost(&c), "{model:?}");
+        }
+        assert_eq!(
+            CostModel::Depth.instruction_cost(&c.instructions()[0]),
+            None,
+            "depth is not additive over gates"
+        );
+    }
+}

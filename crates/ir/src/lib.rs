@@ -23,6 +23,13 @@
 //!   touched-wires-only [`StructuralHash::preview`] /
 //!   [`StructuralHash::updated`] paths, the optimizer's duplicate-rejection
 //!   prefilter (DESIGN.md §9);
+//! * [`CostModel`] — the cost metrics of the search (gate count,
+//!   multi-qubit gate count, T count, depth) with per-instruction additive
+//!   costing, shared by the optimizer's γ-precheck and the library
+//!   auditor's dead-rule lint;
+//! * [`canonicalize`] — the lexicographically smallest topological order of
+//!   a circuit's gate DAG, shared by the optimizer's seen-set and the
+//!   library auditor's canonicality lint;
 //! * [`fx`] — a vendored deterministic FxHash-style hasher for interior
 //!   hash tables on the search hot path;
 //! * [`semantics`] — state-vector simulation, full unitaries, equivalence up
@@ -53,7 +60,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod canon;
 mod circuit;
+mod cost;
 pub mod dag;
 pub mod fx;
 mod gate;
@@ -63,7 +72,9 @@ pub mod qasm;
 pub mod semantics;
 pub mod shash;
 
+pub use canon::canonicalize;
 pub use circuit::{Circuit, Instruction};
+pub use cost::CostModel;
 pub use dag::{CircuitDag, NodeId, SpliceDelta, SpliceFootprint};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gate::{Gate, GateHistogram, ALL_GATES};

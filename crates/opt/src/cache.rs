@@ -36,7 +36,10 @@
 //! ```
 
 use quartz_gen::TransformationIndex;
-use quartz_gen::{transformations_from_ecc_set, LibraryError, LibraryHeader, LibraryReader};
+use quartz_gen::{
+    transformations_from_ecc_set, AuditStamp, LibraryError, LibraryHeader, LibraryReader,
+};
+use quartz_verify::VerifierConfig;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -87,12 +90,32 @@ impl LoadedLibrary {
 #[derive(Debug, Default)]
 pub struct LibraryCache {
     entries: Mutex<HashMap<PathBuf, Arc<LoadedLibrary>>>,
+    require_audit: bool,
 }
 
 impl LibraryCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         LibraryCache::default()
+    }
+
+    /// Creates an empty cache that refuses artifacts without a live audit
+    /// stamp: the `<artifact>.audit` sidecar written by
+    /// `quartz-lib audit --write-stamp` must exist and
+    /// [certify](quartz_gen::AuditStamp::certifies) the artifact's checksum
+    /// under the default verifier configuration. Loads of unstamped (or
+    /// stale-stamped) artifacts fail with
+    /// [`LibraryError::NotAudited`] and nothing is cached.
+    pub fn requiring_audit() -> Self {
+        LibraryCache {
+            entries: Mutex::default(),
+            require_audit: true,
+        }
+    }
+
+    /// Whether this cache was built with [`LibraryCache::requiring_audit`].
+    pub fn requires_audit(&self) -> bool {
+        self.require_audit
     }
 
     /// Returns the library at `path`, reading and validating the artifact on
@@ -111,7 +134,7 @@ impl LibraryCache {
         if let Some(entry) = self.lock().get(&key) {
             return Ok(Arc::clone(entry));
         }
-        let loaded = Arc::new(Self::load(path, &key)?);
+        let loaded = Arc::new(Self::load(path, &key, self.require_audit)?);
         // A concurrent load of the same artifact may have won the race;
         // keep the incumbent so every caller sees one shared index.
         let mut entries = self.lock();
@@ -135,12 +158,22 @@ impl LibraryCache {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    fn load(path: &Path, key: &Path) -> Result<LoadedLibrary, LibraryError> {
+    fn load(path: &Path, key: &Path, require_audit: bool) -> Result<LoadedLibrary, LibraryError> {
         let start = Instant::now();
         let bytes = std::fs::read(path)
             .map_err(|e| LibraryError::Io(quartz_gen::path_io_error(path, e)))?;
         let reader = LibraryReader::new(&bytes)?;
         reader.verify_checksum()?;
+        if require_audit {
+            let certified = AuditStamp::load_for(path).is_some_and(|stamp| {
+                stamp.certifies(reader.header().checksum, VerifierConfig::default().digest())
+            });
+            if !certified {
+                return Err(LibraryError::NotAudited {
+                    path: path.display().to_string(),
+                });
+            }
+        }
         let (index, index_was_prebuilt) = match reader.decode_index()? {
             Some(index) => (index, true),
             None => {
@@ -228,5 +261,49 @@ mod tests {
             Err(LibraryError::ChecksumMismatch { .. })
         ));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn requiring_audit_rejects_unstamped_artifacts() {
+        let path = temp_artifact("unstamped.qtzl", true);
+        let _ = std::fs::remove_file(AuditStamp::sidecar_path(&path));
+        let cache = LibraryCache::requiring_audit();
+        assert!(cache.requires_audit());
+        assert!(!LibraryCache::new().requires_audit());
+        let err = cache.get_or_load(&path).unwrap_err();
+        assert!(matches!(err, LibraryError::NotAudited { .. }));
+        assert!(err.to_string().contains("unstamped.qtzl"));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn requiring_audit_accepts_certified_artifacts_and_rejects_stale_stamps() {
+        use quartz_gen::{AuditConfig, Auditor};
+
+        let path = temp_artifact("stamped.qtzl", true);
+        let report = Auditor::new(AuditConfig::default())
+            .audit_artifact(&path, false)
+            .unwrap();
+        let stamp = report.stamp().expect("the sample set audits clean");
+        stamp.save_for(&path).unwrap();
+
+        let cache = LibraryCache::requiring_audit();
+        let loaded = cache.get_or_load(&path).unwrap();
+        assert_eq!(loaded.header().gate_set, "Nam");
+
+        // Re-packing different content under the same path invalidates the
+        // stamp: the sidecar certifies the old checksum only.
+        let mut grown = sample_set();
+        let mut xx = Circuit::new(2, 0);
+        xx.push(Instruction::new(Gate::X, vec![0], vec![]));
+        xx.push(Instruction::new(Gate::X, vec![0], vec![]));
+        grown.eccs.push(Ecc::new(vec![xx, Circuit::new(2, 0)]));
+        Library::new("Nam", grown, true).save(&path).unwrap();
+
+        let fresh = LibraryCache::requiring_audit();
+        assert!(matches!(
+            fresh.get_or_load(&path),
+            Err(LibraryError::NotAudited { .. })
+        ));
     }
 }

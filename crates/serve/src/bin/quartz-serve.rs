@@ -1,12 +1,15 @@
 //! The `quartz-serve` daemon binary.
 //!
 //! ```text
-//! quartz-serve [--addr HOST:PORT] [--capacity N] [--default-budget N] [--no-libraries]
+//! quartz-serve [--addr HOST:PORT] [--capacity N] [--default-budget N]
+//!              [--no-libraries] [--require-audited]
 //! ```
 //!
 //! Boots against the committed `libraries/*.qtzl` artifacts
 //! (zero-generation startup) and serves the `/v1/*` protocol until
-//! killed. See DESIGN.md §10 and the README quickstart.
+//! killed. With `--require-audited`, artifacts must carry a live audit
+//! stamp (`quartz-lib audit FILE --write-stamp`, DESIGN.md §11) or the
+//! load is refused. See DESIGN.md §10 and the README quickstart.
 
 use quartz_serve::{Daemon, DaemonConfig, Server};
 
@@ -29,10 +32,11 @@ fn main() {
                     .unwrap_or_else(|_| die("--default-budget expects an integer"))
             }
             "--no-libraries" => config.route_libraries = false,
+            "--require-audited" => config.require_audited = true,
             "--help" | "-h" => {
                 println!(
                     "usage: quartz-serve [--addr HOST:PORT] [--capacity N] \
-                     [--default-budget N] [--no-libraries]"
+                     [--default-budget N] [--no-libraries] [--require-audited]"
                 );
                 return;
             }

@@ -27,6 +27,12 @@ pub struct DaemonConfig {
     /// the daemon's base index — used by tests that build their own
     /// optimizer.
     pub route_libraries: bool,
+    /// When `true`, every artifact must carry a live audit stamp (the
+    /// `<artifact>.audit` sidecar written by `quartz-lib audit
+    /// --write-stamp`, certifying the artifact's checksum under the default
+    /// verifier configuration); unstamped artifacts are refused at load
+    /// time. Off by default — `quartz-serve --require-audited` turns it on.
+    pub require_audited: bool,
 }
 
 impl Default for DaemonConfig {
@@ -42,6 +48,7 @@ impl Default for DaemonConfig {
                 ..SearchConfig::default()
             },
             route_libraries: true,
+            require_audited: false,
         }
     }
 }

@@ -106,7 +106,11 @@ impl Daemon {
     /// library artifacts (zero-generation startup: the NAM library is
     /// loaded eagerly as the base index, the others lazily on first use).
     pub fn new(config: DaemonConfig) -> Result<Daemon, SubmitError> {
-        let cache = LibraryCache::new();
+        let cache = if config.require_audited {
+            LibraryCache::requiring_audit()
+        } else {
+            LibraryCache::new()
+        };
         let path = artifact_for(GateSetKind::Nam);
         let library = cache
             .get_or_load(&path)
@@ -399,6 +403,24 @@ mod tests {
     // pass cannot cancel anything — only the search can reduce this to
     // the empty circuit, which guarantees improvement events.
     const QASM: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0],q[1];\nx q[1];\ncx q[0],q[1];\nx q[1];\n";
+
+    /// `--require-audited` must boot against the committed artifacts: every
+    /// `libraries/*.qtzl` carries a committed `.audit` sidecar whose stamp
+    /// certifies its checksum (CI keeps them live). Skipped when run
+    /// outside a full checkout.
+    #[test]
+    fn booting_with_require_audited_accepts_stamped_artifacts() {
+        let path = artifact_for(GateSetKind::Nam);
+        if !path.exists() {
+            return;
+        }
+        let config = DaemonConfig {
+            require_audited: true,
+            ..DaemonConfig::default()
+        };
+        let daemon = Daemon::new(config).expect("committed artifacts carry live audit stamps");
+        assert!(daemon.config().require_audited);
+    }
 
     #[test]
     fn submit_runs_to_completion_and_serves_the_result() {

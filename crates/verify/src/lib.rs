@@ -43,4 +43,6 @@ pub mod symsem;
 mod verifier;
 
 pub use phase::{candidate_phases, PhaseFactor};
-pub use verifier::{Verdict, Verifier, VerifierConfig, VerifierStats, VerifyError};
+pub use verifier::{
+    ClassReport, MemberFailure, Verdict, Verifier, VerifierConfig, VerifierStats, VerifyError,
+};

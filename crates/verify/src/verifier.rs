@@ -46,6 +46,29 @@ impl Default for VerifierConfig {
     }
 }
 
+impl VerifierConfig {
+    /// A content digest of the configuration (FNV-1a over the field bytes).
+    ///
+    /// Two configurations with equal digests decide equivalence queries
+    /// identically, so the digest is a sound cache key component for
+    /// results derived from verifier verdicts — the library auditor keys
+    /// its verified-cache on it (DESIGN.md §11): a sidecar produced under
+    /// one configuration never short-circuits a re-audit under another.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(&self.max_phase_coeff.to_le_bytes());
+        eat(&self.tolerance.to_bits().to_le_bytes());
+        eat(&(self.prefilter_points as u64).to_le_bytes());
+        eat(&self.seed.to_le_bytes());
+        h
+    }
+}
+
 /// Errors produced by the verifier.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
@@ -89,6 +112,47 @@ impl Verdict {
     /// Returns `true` for [`Verdict::Equivalent`].
     pub fn is_equivalent(&self) -> bool {
         matches!(self, Verdict::Equivalent(_))
+    }
+}
+
+/// Why a class member failed re-verification against its representative in
+/// [`Verifier::verify_class`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberFailure {
+    /// The verifier decided the member is not equivalent to the
+    /// representative (for the searched phase-factor space).
+    NotEquivalent,
+    /// The equivalence query itself was ill-formed (qubit-count mismatch,
+    /// unrepresentable angle).
+    Error(VerifyError),
+}
+
+impl fmt::Display for MemberFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemberFailure::NotEquivalent => write!(f, "not equivalent to the representative"),
+            MemberFailure::Error(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+/// Result of re-verifying a whole equivalence class with
+/// [`Verifier::verify_class`]: every member checked against the
+/// representative (`circuits[0]`), all failures collected rather than
+/// stopping at the first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Number of circuits in the class, representative included.
+    pub members: usize,
+    /// `(member index into the input slice, reason)` for every member that
+    /// failed. Empty iff the class is sound.
+    pub failures: Vec<(usize, MemberFailure)>,
+}
+
+impl ClassReport {
+    /// Whether every member verified against the representative.
+    pub fn is_sound(&self) -> bool {
+        self.failures.is_empty()
     }
 }
 
@@ -237,6 +301,35 @@ impl Verifier {
         Ok(self.equivalent(c1, c2)?.is_equivalent())
     }
 
+    /// Re-verifies a whole equivalence class: every member of `circuits`
+    /// is checked against the representative `circuits[0]`, phase-factor
+    /// search included, and *all* failures are collected (the auditor wants
+    /// every unsound member located, not just the first).
+    ///
+    /// Ill-formed queries (qubit-count mismatch, unrepresentable angles)
+    /// are recorded as [`MemberFailure::Error`] on the offending member
+    /// instead of aborting the class, so a single corrupt circuit cannot
+    /// mask failures elsewhere in the class. An empty or single-circuit
+    /// class is trivially sound.
+    pub fn verify_class(&mut self, circuits: &[Circuit]) -> ClassReport {
+        let mut failures = Vec::new();
+        if let Some((rep, members)) = circuits.split_first() {
+            for (offset, member) in members.iter().enumerate() {
+                match self.equivalent(rep, member) {
+                    Ok(Verdict::Equivalent(_)) => {}
+                    Ok(Verdict::NotEquivalent) => {
+                        failures.push((offset + 1, MemberFailure::NotEquivalent));
+                    }
+                    Err(e) => failures.push((offset + 1, MemberFailure::Error(e))),
+                }
+            }
+        }
+        ClassReport {
+            members: circuits.len(),
+            failures,
+        }
+    }
+
     /// Checks ⟦C₁⟧ = e^{iβ}·⟦C₂⟧ exactly, entry by entry.
     fn matrices_equal_with_phase(
         u1: &Matrix<Poly>,
@@ -377,6 +470,88 @@ mod tests {
             Verdict::Equivalent(phase) => assert_eq!(phase.pi4_units, 1),
             Verdict::NotEquivalent => panic!("XTXT should equal identity up to a π/4 phase"),
         }
+    }
+
+    #[test]
+    fn config_digest_separates_configurations() {
+        let base = VerifierConfig::default();
+        assert_eq!(base.digest(), VerifierConfig::default().digest());
+        let variants = [
+            VerifierConfig {
+                max_phase_coeff: 2,
+                ..base.clone()
+            },
+            VerifierConfig {
+                tolerance: 1e-9,
+                ..base.clone()
+            },
+            VerifierConfig {
+                prefilter_points: 0,
+                ..base.clone()
+            },
+            VerifierConfig {
+                seed: 1,
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.digest(), base.digest(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn verify_class_collects_all_failures() {
+        // Class {I, H·H, X, Y}: members 2 and 3 are unsound and must both
+        // be reported; the H·H member stays clean.
+        let id = Circuit::new(1, 0);
+        let mut hh = Circuit::new(1, 0);
+        hh.push(instr(Gate::H, &[0]));
+        hh.push(instr(Gate::H, &[0]));
+        let mut x = Circuit::new(1, 0);
+        x.push(instr(Gate::X, &[0]));
+        let mut y = Circuit::new(1, 0);
+        y.push(instr(Gate::Y, &[0]));
+        let mut v = Verifier::default();
+        let report = v.verify_class(&[id.clone(), hh.clone(), x, y]);
+        assert_eq!(report.members, 4);
+        assert!(!report.is_sound());
+        assert_eq!(
+            report
+                .failures
+                .iter()
+                .map(|(member, _)| *member)
+                .collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert!(report
+            .failures
+            .iter()
+            .all(|(_, f)| *f == MemberFailure::NotEquivalent));
+
+        // A sound class and the trivial classes report clean.
+        assert!(v.verify_class(&[id.clone(), hh]).is_sound());
+        assert!(v.verify_class(&[id]).is_sound());
+        assert!(v.verify_class(&[]).is_sound());
+    }
+
+    #[test]
+    fn verify_class_records_query_errors_per_member() {
+        // A qubit-count mismatch inside a class must localize to the
+        // offending member, not abort the class.
+        let id1 = Circuit::new(1, 0);
+        let id2 = Circuit::new(2, 0);
+        let mut x = Circuit::new(1, 0);
+        x.push(instr(Gate::X, &[0]));
+        let mut v = Verifier::default();
+        let report = v.verify_class(&[id1.clone(), id2, x, id1]);
+        assert_eq!(report.members, 4);
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.failures[0].0, 1);
+        assert!(matches!(
+            report.failures[0].1,
+            MemberFailure::Error(VerifyError::QubitCountMismatch(1, 2))
+        ));
+        assert_eq!(report.failures[1], (2, MemberFailure::NotEquivalent));
     }
 
     #[test]

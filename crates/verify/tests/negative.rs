@@ -1,0 +1,213 @@
+//! Negative-path tests for the verifier (paper §4): pairs that are *not*
+//! equivalent — wrong relative phase, wrong qubit wiring, perturbed
+//! parameter expressions — must be rejected by [`Verifier::check`], and a
+//! random single-instruction mutation of a verified pair must fail
+//! verification. The positive direction is exercised everywhere else in
+//! the workspace; soundness of the library audit rests on this direction.
+
+use proptest::prelude::*;
+use quartz_ir::{equivalent_up_to_phase, Circuit, Gate, Instruction, ParamExpr};
+use quartz_verify::{Verdict, Verifier};
+
+fn instr(gate: Gate, qubits: &[usize]) -> Instruction {
+    Instruction::new(gate, qubits.to_vec(), vec![])
+}
+
+fn single(gate: Gate, qubits: &[usize]) -> Circuit {
+    let nq = qubits.iter().max().map_or(1, |q| q + 1);
+    let mut c = Circuit::new(nq, 0);
+    c.push(instr(gate, qubits));
+    c
+}
+
+/// Gates that differ from each other only by a *relative* (non-global)
+/// phase on the |1⟩ amplitude are not equivalent and must be rejected —
+/// even with the parameter-dependent phase search enabled.
+#[test]
+fn wrong_phase_is_rejected() {
+    let pairs = [
+        (Gate::T, Gate::S),
+        (Gate::S, Gate::Sdg),
+        (Gate::T, Gate::Tdg),
+        (Gate::Z, Gate::S),
+    ];
+    for coeff_range in [0, 2] {
+        let mut v = Verifier::with_phase_coeff_range(coeff_range);
+        for (a, b) in pairs {
+            assert!(
+                !v.check(&single(a, &[0]), &single(b, &[0])).unwrap(),
+                "{a:?} vs {b:?} must not verify (coeff range {coeff_range})"
+            );
+        }
+    }
+}
+
+/// The same gate applied to the wrong qubit (or with control/target
+/// swapped) is not equivalent.
+#[test]
+fn wrong_qubit_is_rejected() {
+    let mut v = Verifier::default();
+
+    let mut h0 = Circuit::new(2, 0);
+    h0.push(instr(Gate::H, &[0]));
+    let mut h1 = Circuit::new(2, 0);
+    h1.push(instr(Gate::H, &[1]));
+    assert!(!v.check(&h0, &h1).unwrap());
+
+    assert!(!v
+        .check(&single(Gate::Cnot, &[0, 1]), &single(Gate::Cnot, &[1, 0]))
+        .unwrap());
+
+    // The Figure 3a sandwich flips the CNOT; claiming it leaves the CNOT
+    // unflipped is wrong by exactly one qubit index.
+    let mut sandwich = Circuit::new(2, 0);
+    for q in [0, 1] {
+        sandwich.push(instr(Gate::H, &[q]));
+    }
+    sandwich.push(instr(Gate::Cnot, &[0, 1]));
+    for q in [0, 1] {
+        sandwich.push(instr(Gate::H, &[q]));
+    }
+    assert!(!v.check(&sandwich, &single(Gate::Cnot, &[0, 1])).unwrap());
+    assert!(v.check(&sandwich, &single(Gate::Cnot, &[1, 0])).unwrap());
+}
+
+/// A perturbed parameter expression — doubled coefficient, wrong variable,
+/// extra π/4 offset — breaks an otherwise-verified parametric identity.
+#[test]
+fn perturbed_parameter_is_rejected() {
+    let m = 2;
+    let mut two = Circuit::new(1, m);
+    two.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::var(0, m)],
+    ));
+    two.push(Instruction::new(
+        Gate::Rz,
+        vec![0],
+        vec![ParamExpr::var(1, m)],
+    ));
+
+    let fused = |expr: ParamExpr| {
+        let mut c = Circuit::new(1, m);
+        c.push(Instruction::new(Gate::Rz, vec![0], vec![expr]));
+        c
+    };
+
+    let mut v = Verifier::default();
+    // The unperturbed identity verifies ...
+    assert!(v.check(&two, &fused(ParamExpr::sum_vars(0, 1, m))).unwrap());
+    // ... and every perturbation of the fused angle is rejected.
+    let perturbed = [
+        ParamExpr::var(0, m),                                    // dropped p1
+        ParamExpr::scaled_var(0, 2, m),                          // doubled p0, no p1
+        ParamExpr::sum_vars(0, 1, m).add(&ParamExpr::var(0, m)), // 2·p0 + p1
+        ParamExpr::sum_vars(0, 1, m).add(&ParamExpr::constant_pi4_with_params(1, m)), // + π/4
+    ];
+    for expr in perturbed {
+        assert!(
+            !v.check(&two, &fused(expr.clone())).unwrap(),
+            "perturbed angle {expr:?} must not verify"
+        );
+    }
+}
+
+/// A wrong verdict must also be wrong as a [`Verdict`], not just as a
+/// boolean: no phase witness is produced for a rejected pair.
+#[test]
+fn rejected_pairs_carry_no_witness() {
+    let mut v = Verifier::default();
+    let verdict = v
+        .equivalent(&single(Gate::T, &[0]), &single(Gate::S, &[0]))
+        .unwrap();
+    assert_eq!(verdict, Verdict::NotEquivalent);
+    assert!(!verdict.is_equivalent());
+}
+
+/// The verified base pair for the mutation proptest: the Figure 3a
+/// Hadamard sandwich and its flipped CNOT.
+fn base_pair() -> (Circuit, Circuit) {
+    let mut lhs = Circuit::new(2, 0);
+    for q in [0, 1] {
+        lhs.push(instr(Gate::H, &[q]));
+    }
+    lhs.push(instr(Gate::Cnot, &[0, 1]));
+    for q in [0, 1] {
+        lhs.push(instr(Gate::H, &[q]));
+    }
+    (lhs, single(Gate::Cnot, &[1, 0]))
+}
+
+/// Replacement pools per arity: every mutation keeps the circuit
+/// structurally valid (same operand count, no parameters).
+const ONE_QUBIT_POOL: [Gate; 7] = [
+    Gate::X,
+    Gate::Y,
+    Gate::Z,
+    Gate::S,
+    Gate::Sdg,
+    Gate::T,
+    Gate::Rx90,
+];
+const TWO_QUBIT_POOL: [Gate; 2] = [Gate::Cz, Gate::Swap];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutating any single instruction of a verified pair — replacing its
+    /// gate with a different same-arity gate, or re-wiring its operands —
+    /// must flip the verdict to NotEquivalent. Mutations that happen to
+    /// preserve the semantics (checked numerically) are skipped rather
+    /// than counted.
+    #[test]
+    fn random_single_instruction_mutation_fails_verification(
+        site in 0usize..5,
+        choice in 0usize..8,
+        rewire in 0u32..2,
+    ) {
+        let (lhs, rhs) = base_pair();
+        let mut v = Verifier::default();
+        prop_assert!(v.check(&lhs, &rhs).unwrap());
+
+        let mut mutated = Circuit::new(lhs.num_qubits(), lhs.num_params());
+        for (i, ins) in lhs.instructions().iter().enumerate() {
+            if i != site {
+                mutated.push(ins.clone());
+                continue;
+            }
+            let mutant = if rewire == 1 {
+                // Re-wire: move a 1q gate to the other qubit, or flip the
+                // 2q gate's operand order.
+                let qubits: Vec<usize> = if ins.qubits.len() == 1 {
+                    vec![1 - ins.qubits[0]]
+                } else {
+                    ins.qubits.iter().rev().copied().collect()
+                };
+                Instruction::new(ins.gate, qubits, vec![])
+            } else if ins.qubits.len() == 1 {
+                Instruction::new(
+                    ONE_QUBIT_POOL[choice % ONE_QUBIT_POOL.len()],
+                    ins.qubits.clone(),
+                    vec![],
+                )
+            } else {
+                Instruction::new(
+                    TWO_QUBIT_POOL[choice % TWO_QUBIT_POOL.len()],
+                    ins.qubits.clone(),
+                    vec![],
+                )
+            };
+            mutated.push(mutant);
+        }
+        prop_assume!(mutated != lhs);
+        // Skip the rare mutation that preserves the unitary (e.g. a
+        // commuting re-wiring): the claim is about semantic mutations.
+        prop_assume!(!equivalent_up_to_phase(&mutated, &rhs, &[], 1e-6));
+
+        prop_assert!(
+            !v.check(&mutated, &rhs).unwrap(),
+            "mutated site {site} (choice {choice}, rewire {rewire}) must fail verification"
+        );
+    }
+}

@@ -8,6 +8,9 @@
 //! each benchmark reports the minimum, mean, and maximum of `sample_size`
 //! timed samples. See DESIGN.md §4.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -12,6 +12,9 @@
 //! * random generation is seeded deterministically from the test name, so
 //!   every run exercises the same cases (reproducible CI).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod strategy {
     //! Value-generation strategies.
 

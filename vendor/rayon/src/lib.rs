@@ -14,6 +14,9 @@
 //! * [`ParIter::with_max_threads`] replaces pool configuration;
 //! * only `map` + `collect` are provided.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod prelude {
     //! Glob-import surface mirroring `rayon::prelude`.
     pub use crate::IntoParallelRefIterator;

@@ -8,6 +8,9 @@
 //! goes through the hand-written JSON codec in `quartz-gen` instead; see
 //! DESIGN.md §4.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::Serialize`. No methods; the no-op derive

@@ -6,6 +6,9 @@
 //! hand-written JSON codec in `quartz-gen`), so the derives expand to nothing.
 //! See DESIGN.md §4 for the vendoring policy.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; the annotated type gains no trait impls.
