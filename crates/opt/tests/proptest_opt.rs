@@ -600,3 +600,105 @@ proptest! {
         }
     }
 }
+
+/// The same NAM (2, 2) library resolved through a sharded content-addressed
+/// registry (DESIGN.md §12.4): packed as a v2 artifact, split into two
+/// shards, published, and loaded back through [`LibraryCache::with_registry`]
+/// — so the returned index went through the whole lazy shard-routing path.
+fn registry_nam_index() -> Arc<quartz_opt::TransformationIndex> {
+    use quartz_gen::{shard_library, Registry, RegistryKey, FORMAT_VERSION_V2};
+    use quartz_opt::LibraryCache;
+    use std::sync::OnceLock;
+    static INDEX: OnceLock<Arc<quartz_opt::TransformationIndex>> = OnceLock::new();
+    Arc::clone(INDEX.get_or_init(|| {
+        let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 1)).run();
+        let library = Library::with_format("Nam", set, true, FORMAT_VERSION_V2);
+        let key = RegistryKey::from_header(library.header());
+        let dir =
+            std::env::temp_dir().join(format!("quartz_proptest_registry_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<_> = shard_library(&library, 2)
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| {
+                let path = dir.join(format!("nam.shard{i}.qtzl"));
+                std::fs::write(&path, bytes).unwrap();
+                path
+            })
+            .collect();
+        let registry = Registry::open(dir.join("registry")).unwrap();
+        registry.add(&paths).unwrap();
+        let cache = LibraryCache::with_registry(dir.join("registry")).unwrap();
+        cache.get_for_key(&key).unwrap().shared_index()
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Registry routing under co-tenancy: the scheduler serves from an index
+    /// assembled out of registry shards while the standalone reference runs
+    /// against the directly generated index — outcomes must still be
+    /// bit-identical. Where a library's bytes come from (committed path,
+    /// registry blob, shard group) may change *how* the index is built,
+    /// never what the search computes.
+    #[test]
+    fn registry_backed_cotenant_outcomes_are_bit_identical_to_direct_loads(
+        mix in prop::collection::vec(
+            (arb_clifford_t_circuit(2, 8), 4usize..24, 0u8..3, 0usize..4),
+            2..5,
+        ),
+        threads in 1usize..4,
+    ) {
+        use quartz_opt::{Priority, ServiceRequest, ServiceScheduler};
+
+        let config = SearchConfig {
+            num_threads: threads,
+            timeout: Duration::from_secs(600),
+            ..SearchConfig::default()
+        };
+        let priority = |p: u8| match p {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        };
+
+        let mut scheduler = ServiceScheduler::new(
+            Optimizer::with_index(registry_nam_index(), config.clone()),
+            usize::MAX,
+        );
+        let mut ids = Vec::new();
+        let mut next = 0usize;
+        let mut countdown = 0usize;
+        loop {
+            while next < mix.len() && countdown == 0 {
+                let (circuit, budget, prio, gap) = &mix[next];
+                let request = ServiceRequest::new(circuit.clone())
+                    .with_budget(*budget)
+                    .with_priority(priority(*prio));
+                ids.push(scheduler.admit(request).expect("unbounded capacity"));
+                countdown = *gap;
+                next += 1;
+            }
+            if next >= mix.len() && !scheduler.has_work() {
+                break;
+            }
+            scheduler.step(|_| {});
+            countdown = countdown.saturating_sub(1);
+        }
+
+        let standalone_optimizer = Optimizer::with_index(shared_nam_index(), config);
+        for (i, (circuit, budget, _, _)) in mix.iter().enumerate() {
+            let served = scheduler.result(ids[i]).expect("finished");
+            let standalone = standalone_optimizer.optimize_with_budget(circuit, *budget);
+            let (served, standalone) = (outcome_fields(served), outcome_fields(&standalone));
+            prop_assert!(
+                served == standalone,
+                "request {i} diverged: registry-backed index != direct index: \
+                 {served:?} != {standalone:?}"
+            );
+        }
+    }
+}

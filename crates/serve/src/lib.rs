@@ -58,6 +58,6 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use config::DaemonConfig;
-pub use daemon::{artifact_for, kind_for, Daemon, ResultError, SubmitError};
+pub use daemon::{artifact_for, kind_for, registry_key_for, Daemon, ResultError, SubmitError};
 pub use server::Server;
 pub use wire::{EventLine, Outcome, ResultResponse, StatusResponse, SubmitRequest};

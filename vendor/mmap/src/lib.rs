@@ -1,0 +1,171 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! The workspace builds with no crates.io access and every crate forbids
+//! `unsafe`, so a real `mmap(2)` wrapper (which is unavoidably `unsafe`: the
+//! kernel may unmap or change pages behind the borrow checker's back) is off
+//! the table. This crate keeps the *shape* of a read-only memory map — open a
+//! file once, then service random-access reads of arbitrary byte ranges
+//! without ever loading the whole file — using positioned reads instead of
+//! page mapping:
+//!
+//! * on Unix, [`std::os::unix::fs::FileExt::read_exact_at`] issues `pread(2)`
+//!   calls against a shared `&File`, so concurrent readers never contend on a
+//!   seek cursor;
+//! * elsewhere, a `Mutex<File>` serializes `seek` + `read_exact` pairs.
+//!
+//! Differences from the real memmap2 (documented in DESIGN.md §4):
+//!
+//! * ranges are *copied out* ([`Mmap::read_range`] returns a `Vec<u8>`)
+//!   rather than borrowed from mapped pages — callers that want zero-copy
+//!   slices should keep using in-memory byte buffers;
+//! * the file length is captured at open; a file truncated behind an open
+//!   map surfaces as an `UnexpectedEof` read error rather than a fault.
+//!
+//! Both behaviours are what the lazy QTZL reader wants: it reads each class
+//! payload at most once (then caches the decoded form), and a typed I/O
+//! error on concurrent truncation is strictly friendlier than `SIGBUS`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Range;
+use std::path::Path;
+
+#[cfg(not(unix))]
+use std::io::{Read, Seek, SeekFrom};
+#[cfg(not(unix))]
+use std::sync::Mutex;
+
+/// A read-only "map" of a file: open once, read byte ranges at random
+/// offsets from any number of threads.
+#[derive(Debug)]
+pub struct Mmap {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+    len: u64,
+}
+
+impl Mmap {
+    /// Opens `path` read-only and records its current length.
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Mmap {
+            #[cfg(unix)]
+            file,
+            #[cfg(not(unix))]
+            file: Mutex::new(file),
+            len,
+        })
+    }
+
+    /// Length of the mapped file in bytes, as captured at open time.
+    pub fn len(&self) -> usize {
+        // QTZL artifacts are far below u32::MAX today; saturate rather than
+        // panic if a >4 GiB file meets a 32-bit target.
+        usize::try_from(self.len).unwrap_or(usize::MAX)
+    }
+
+    /// True when the mapped file was empty at open time.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fills `buf` from the file starting at byte `offset`, failing with
+    /// `UnexpectedEof` if the range runs past the length captured at open.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let end = offset.checked_add(buf.len() as u64);
+        if end.is_none() || end.unwrap() > self.len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "read past end of mapped file",
+            ));
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            let mut file = self.file.lock().expect("mmap file lock poisoned");
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)
+        }
+    }
+
+    /// Copies the byte range out of the file (the stand-in for borrowing a
+    /// sub-slice of mapped pages).
+    pub fn read_range(&self, range: Range<usize>) -> io::Result<Vec<u8>> {
+        if range.start > range.end {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "inverted read range",
+            ));
+        }
+        let mut buf = vec![0u8; range.end - range.start];
+        self.read_at(range.start as u64, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "mmap-shim-test-{}-{bytes:p}.bin",
+            std::process::id()
+        ));
+        let mut f = File::create(&path).expect("create temp file");
+        f.write_all(bytes).expect("write temp file");
+        path
+    }
+
+    #[test]
+    fn ranges_round_trip() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let path = temp_file(&data);
+        let map = Mmap::open(&path).expect("open");
+        assert_eq!(map.len(), 256);
+        assert!(!map.is_empty());
+        assert_eq!(map.read_range(0..256).unwrap(), data);
+        assert_eq!(map.read_range(10..14).unwrap(), &data[10..14]);
+        assert_eq!(map.read_range(255..256).unwrap(), &data[255..]);
+        assert!(map.read_range(250..257).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 7..3;
+        assert!(map.read_range(reversed).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn concurrent_reads_agree() {
+        let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        let path = temp_file(&data);
+        let map = std::sync::Arc::new(Mmap::open(&path).expect("open"));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let map = std::sync::Arc::clone(&map);
+                let data = data.clone();
+                std::thread::spawn(move || {
+                    for i in 0..64 {
+                        let start = (t * 97 + i * 31) % 4000;
+                        let end = start + 96;
+                        assert_eq!(map.read_range(start..end).unwrap(), &data[start..end]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}
