@@ -9,15 +9,20 @@
 //!   ECC payload and prebuilt index — through the `LibraryCache`
 //!   (DESIGN.md §7);
 //!
-//! and the **match-site cache** (DESIGN.md §8) plus the **incremental
-//! structural-hash prefilter** (DESIGN.md §9): every configuration runs as
-//! three engines — `cached` (all defaults on), `uncached`
-//! (`cached_matches: false`), and `nofp` (`incremental_fingerprints:
-//! false`) — asserting that all three produce bit-identical per-circuit
-//! search outcomes while the cached engine performs at most half the
-//! full-circuit pattern match passes and the prefilter avoids at least
-//! half of the candidate materializations with a zero confirm-mismatch
-//! canary.
+//! and the **match-site cache** (DESIGN.md §8) plus the **exact
+//! structural-hash dedup with deferred materialization** (DESIGN.md §9,
+//! §13): every configuration runs as three engines — `cached` (all
+//! defaults on, deferred), `uncached` (`cached_matches: false`), and
+//! `eager` (`deferred_materialization: false`) — asserting that all
+//! produce bit-identical per-circuit search outcomes while the cached
+//! engine performs at most half the full-circuit pattern match passes, the
+//! prefilter avoids at least half of the candidate materializations with a
+//! zero confirm-mismatch canary, and the deferred engine actually defers.
+//! With `--with-nofp` a fourth engine, `nofp`
+//! (`incremental_fingerprints: false`, every candidate materialized and
+//! hashed from scratch), joins the matrix — it costs more wall-clock than
+//! all other legs combined, so the PR-gating `--quick` CI job omits it and
+//! the scheduled/full job passes the flag.
 //!
 //! Search outcomes must be bit-identical across thread counts, startup
 //! paths, *and* engines (asserted below), so every column is an
@@ -27,12 +32,12 @@
 //! `quartz_bench::report`) so CI archives one machine-readable perf
 //! artifact per run and the trajectory is diffable across commits. With
 //! `--profile`, each engine's run additionally records a per-phase timing
-//! breakdown (match/delta/γ-precheck/canonicalize/fingerprint/dedup) as
-//! `profile/<engine>` suites.
+//! breakdown (match/delta/γ-precheck/preview/canonicalize/fingerprint/
+//! dedup) as `profile/<engine>` suites.
 //!
 //! Usage: `cargo run --release -p quartz-bench --bin service_throughput
 //! [-- --quick | --scale full] [--timeout <secs>] [--n <n>] [--q <q>]
-//! [--threads <t>] [--profile]`
+//! [--threads <t>] [--profile] [--with-nofp]`
 
 use quartz_bench::report::{BenchReport, BENCH_SEARCH_FILE};
 use quartz_bench::{build_ecc_set, library_artifact_path, GateSetKind, Scale};
@@ -61,7 +66,7 @@ struct OutcomeSummary {
 /// The matching-effort fields — identical across thread counts and startup
 /// paths *within* one engine, deliberately different between engines (the
 /// difference is the cache's whole point).
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct EffortSummary {
     match_attempts: usize,
     match_skips: usize,
@@ -75,9 +80,12 @@ struct EffortSummary {
     materializations_avoided: usize,
     fp_confirm_mismatches: usize,
     dedup_hits_materialized: usize,
+    materializations_deferred: usize,
+    dequeue_materializations: usize,
 }
 
-/// Suite-wide structural-hash prefilter totals for one engine (DESIGN.md §9).
+/// Suite-wide structural-hash prefilter and deferral totals for one engine
+/// (DESIGN.md §9, §13).
 #[derive(Debug, Clone, Copy)]
 struct FpSummary {
     dedup_hits: usize,
@@ -85,6 +93,8 @@ struct FpSummary {
     materializations_avoided: usize,
     fp_confirm_mismatches: usize,
     dedup_hits_materialized: usize,
+    materializations_deferred: usize,
+    dequeue_materializations: usize,
 }
 
 impl OutcomeSummary {
@@ -116,6 +126,8 @@ impl EffortSummary {
             materializations_avoided: result.materializations_avoided,
             fp_confirm_mismatches: result.fp_confirm_mismatches,
             dedup_hits_materialized: result.dedup_hits_materialized,
+            materializations_deferred: result.materializations_deferred,
+            dequeue_materializations: result.dequeue_materializations,
         }
     }
 }
@@ -131,6 +143,7 @@ fn main() {
     // bench-smoke job passes); Scale::from_args handles the rest.
     let scale = Scale::from_args(kind, &args);
     let profile_enabled = args.iter().any(|a| a == "--profile");
+    let with_nofp = args.iter().any(|a| a == "--with-nofp");
     let max_threads = args
         .iter()
         .position(|a| a == "--threads")
@@ -292,7 +305,7 @@ fn main() {
         scale.max_iterations
     );
 
-    let config = |threads: usize, cached: bool, fp: bool| -> SearchConfig {
+    let config = |threads: usize, cached: bool, fp: bool, deferred: bool| -> SearchConfig {
         // The iteration budget must be the binding constraint: runs cut off
         // by the wall clock are legitimately thread-count-dependent, which
         // would void the bit-identicality assertion below. Leave the timeout
@@ -303,6 +316,7 @@ fn main() {
             num_threads: threads,
             cached_matches: cached,
             incremental_fingerprints: fp,
+            deferred_materialization: deferred,
             profile: profile_enabled,
             ..SearchConfig::default()
         }
@@ -310,11 +324,12 @@ fn main() {
     let run = |index: &Arc<quartz_opt::TransformationIndex>,
                threads: usize,
                cached: bool,
-               fp: bool|
+               fp: bool,
+               deferred: bool|
      -> (Duration, Vec<SearchResult>) {
         let service = OptimizationService::new(Optimizer::with_index(
             Arc::clone(index),
-            config(threads, cached, fp),
+            config(threads, cached, fp, deferred),
         ));
         let start = Instant::now();
         let results = service.optimize_batch(&batch);
@@ -338,20 +353,26 @@ fn main() {
         "Gates",
         "Speedup"
     );
-    // Engine matrix: the default engine, matching with the cache off, and
-    // deduplicating without the structural-hash prefilter.
-    const ENGINES: [(&str, bool, bool); 3] = [
-        ("cached", true, true),
-        ("uncached", false, true),
-        ("nofp", true, false),
+    // Engine matrix: the default (deferred) engine, matching with the cache
+    // off, eager materialization, and — behind `--with-nofp` — dedup
+    // without the structural-hash preview (every candidate materialized and
+    // hashed from scratch; by far the slowest leg).
+    let mut engines: Vec<(&str, bool, bool, bool)> = vec![
+        ("cached", true, true, true),
+        ("uncached", false, true, true),
+        ("eager", true, true, false),
     ];
+    if with_nofp {
+        engines.push(("nofp", true, false, true));
+    }
+    let num_engines = engines.len();
     let mut baseline_secs = 0.0;
     let mut outcome_baseline: Option<Vec<OutcomeSummary>> = None;
-    let mut effort_baselines: [Option<Vec<EffortSummary>>; 3] = [None, None, None];
-    let mut engine_secs: [Option<f64>; 3] = [None, None, None];
-    let mut engine_attempts: [Option<usize>; 3] = [None, None, None];
-    let mut engine_hit_rate: [Option<f64>; 3] = [None, None, None];
-    let mut fp_totals: [Option<FpSummary>; 3] = [None, None, None];
+    let mut effort_baselines: Vec<Option<Vec<EffortSummary>>> = vec![None; num_engines];
+    let mut engine_secs: Vec<Option<f64>> = vec![None; num_engines];
+    let mut engine_attempts: Vec<Option<usize>> = vec![None; num_engines];
+    let mut engine_hit_rate: Vec<Option<f64>> = vec![None; num_engines];
+    let mut fp_totals: Vec<Option<FpSummary>> = vec![None; num_engines];
     for &threads in &thread_counts {
         let mut indexes: Vec<(&str, Arc<quartz_opt::TransformationIndex>)> =
             vec![("generated", Arc::clone(&generated))];
@@ -359,8 +380,8 @@ fn main() {
             indexes.push(("loaded", library.shared_index()));
         }
         for (label, index) in indexes {
-            for (engine_id, (engine, cached, fp)) in ENGINES.iter().enumerate() {
-                let (elapsed, results) = run(&index, threads, *cached, *fp);
+            for (engine_id, (engine, cached, fp, deferred)) in engines.iter().enumerate() {
+                let (elapsed, results) = run(&index, threads, *cached, *fp, *deferred);
                 let secs = elapsed.as_secs_f64();
                 let total: usize = results.iter().map(|r| r.best_cost).sum();
                 let attempts = sum(&results, |r| r.match_attempts);
@@ -406,6 +427,8 @@ fn main() {
                         materializations_avoided: sum(&results, |r| r.materializations_avoided),
                         fp_confirm_mismatches: sum(&results, |r| r.fp_confirm_mismatches),
                         dedup_hits_materialized: sum(&results, |r| r.dedup_hits_materialized),
+                        materializations_deferred: sum(&results, |r| r.materializations_deferred),
+                        dequeue_materializations: sum(&results, |r| r.dequeue_materializations),
                     });
                     if profile_enabled {
                         let mut profile = quartz_opt::SearchProfile::default();
@@ -458,6 +481,14 @@ fn main() {
                         "fp_confirm_mismatches",
                         sum(&results, |r| r.fp_confirm_mismatches) as f64,
                     )
+                    .metric(
+                        "materializations_deferred",
+                        sum(&results, |r| r.materializations_deferred) as f64,
+                    )
+                    .metric(
+                        "dequeue_materializations",
+                        sum(&results, |r| r.dequeue_materializations) as f64,
+                    )
                     .metric("total_best_cost", total as f64);
             }
         }
@@ -495,10 +526,8 @@ fn main() {
 
     // Acceptance (ISSUE 6): the structural-hash prefilter must avoid at
     // least half of the duplicate materializations for identical results,
-    // with a zero confirm-mismatch canary; the nofp engine must never touch
-    // the fast path.
+    // with a zero confirm-mismatch canary.
     let fp_on = fp_totals[0].expect("default engine ran");
-    let fp_off = fp_totals[2].expect("nofp engine ran");
     assert_eq!(
         fp_on.dedup_hits,
         fp_on.fp_fast_rejects + fp_on.dedup_hits_materialized,
@@ -506,7 +535,7 @@ fn main() {
     );
     assert_eq!(
         fp_on.fp_confirm_mismatches, 0,
-        "a first-sight candidate's structural hash collided with the seen set"
+        "a structural-hash preview disagreed with its materialized confirmation"
     );
     assert!(
         fp_on.materializations_avoided * 2 >= fp_on.dedup_hits,
@@ -515,27 +544,40 @@ fn main() {
         fp_on.materializations_avoided,
         fp_on.dedup_hits
     );
-    assert_eq!(
-        (
-            fp_off.fp_fast_rejects,
-            fp_off.materializations_avoided,
-            fp_off.fp_confirm_mismatches
-        ),
-        (0, 0, 0),
-        "the nofp engine must not touch the structural-hash fast path"
+
+    // Acceptance (ISSUE 10): the deferred default must actually defer —
+    // first-sight candidates are enqueued without circuits, only dequeued
+    // entries materialize — while the eager leg defers nothing and both
+    // legs' dequeue-time/admission-time confirmation canaries stay at zero.
+    let eager_totals = fp_totals[2].expect("eager engine ran");
+    assert!(
+        fp_on.materializations_deferred > 0,
+        "the deferred engine must enqueue circuit-less candidates"
+    );
+    assert!(
+        fp_on.dequeue_materializations <= fp_on.materializations_deferred,
+        "deferral can only materialize a subset of what it enqueued: \
+         {} dequeued vs {} deferred",
+        fp_on.dequeue_materializations,
+        fp_on.materializations_deferred
     );
     assert_eq!(
-        fp_off.dedup_hits_materialized, fp_off.dedup_hits,
-        "without the prefilter every dedup hit pays materialization"
+        (
+            eager_totals.materializations_deferred,
+            eager_totals.dequeue_materializations,
+            eager_totals.fp_confirm_mismatches
+        ),
+        (0, 0, 0),
+        "the eager engine must materialize everything at admission"
     );
     let avoided_rate = if fp_on.dedup_hits == 0 {
         0.0
     } else {
         fp_on.materializations_avoided as f64 / fp_on.dedup_hits as f64
     };
-    let fp_speedup = engine_secs[2].unwrap_or(0.0) / engine_secs[0].unwrap_or(1.0).max(1e-9);
-    report
-        .suite("fp_acceptance")
+    let eager_speedup = engine_secs[2].unwrap_or(0.0) / engine_secs[0].unwrap_or(1.0).max(1e-9);
+    let fp_suite = report.suite("fp_acceptance");
+    fp_suite
         .metric("dedup_hits", fp_on.dedup_hits as f64)
         .metric("fp_fast_rejects", fp_on.fp_fast_rejects as f64)
         .metric(
@@ -544,14 +586,113 @@ fn main() {
         )
         .metric("fp_confirm_mismatches", fp_on.fp_confirm_mismatches as f64)
         .metric("materializations_avoided_rate", avoided_rate)
-        .metric("wall_time_speedup_1thread", fp_speedup);
+        .metric(
+            "materializations_deferred",
+            fp_on.materializations_deferred as f64,
+        )
+        .metric(
+            "dequeue_materializations",
+            fp_on.dequeue_materializations as f64,
+        )
+        .metric("eager_wall_time_ratio_1thread", eager_speedup);
     println!(
-        "Structural-hash prefilter: avoided {} of {} duplicate materializations \
-         ({:.1}%), 0 confirm mismatches, {fp_speedup:.2}x wall-time speedup at 1 thread",
+        "Structural-hash dedup: avoided {} of {} duplicate materializations \
+         ({:.1}%), 0 confirm mismatches; deferred {} admissions, materialized \
+         {} at dequeue ({:.2}x vs eager at 1 thread)",
         fp_on.materializations_avoided,
         fp_on.dedup_hits,
         100.0 * avoided_rate,
+        fp_on.materializations_deferred,
+        fp_on.dequeue_materializations,
+        eager_speedup,
     );
+
+    // The nofp leg (every candidate materialized and hashed from scratch)
+    // only runs under `--with-nofp`; its assertions pin the check-order
+    // parity that keeps its outcomes identical to the fast engines'.
+    if with_nofp {
+        let fp_off = fp_totals[3].expect("nofp engine ran");
+        assert_eq!(
+            (
+                fp_off.fp_fast_rejects,
+                fp_off.materializations_avoided,
+                fp_off.materializations_deferred,
+                fp_off.dequeue_materializations,
+            ),
+            (0, 0, 0, 0),
+            "the nofp engine must not touch the preview fast path or defer"
+        );
+        assert_eq!(
+            fp_off.dedup_hits_materialized, fp_off.dedup_hits,
+            "without the prefilter every dedup hit pays materialization"
+        );
+        assert_eq!(
+            fp_off.fp_confirm_mismatches, 0,
+            "the nofp engine performs no confirmations"
+        );
+        let nofp_speedup = engine_secs[3].unwrap_or(0.0) / engine_secs[0].unwrap_or(1.0).max(1e-9);
+        report
+            .suite("fp_acceptance")
+            .metric("nofp_wall_time_ratio_1thread", nofp_speedup);
+        println!(
+            "nofp reference leg: {} dedup hits, all materialized, \
+             {nofp_speedup:.2}x wall-time vs the deferred default at 1 thread",
+            fp_off.dedup_hits,
+        );
+    }
+
+    // -- Seen-set probe cost: FxHash vs pass-through identity hashing ------
+    // The seen-set keys are already finalized 64-bit hashes, so the set can
+    // skip rehashing entirely (`IdentityHashSet`). Measure the probe cost of
+    // both hashers over the same pre-mixed keys (half hits, half misses).
+    {
+        const KEYS: usize = 1 << 16;
+        const PROBES: usize = 1 << 20;
+        // splitmix64-style sequence: statistically mixed, deterministic.
+        let key = |i: u64| -> u64 {
+            let mut z = (i.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut fx: quartz_ir::FxHashSet<u64> = Default::default();
+        let mut identity = quartz_ir::IdentityHashSet::default();
+        for i in 0..KEYS as u64 {
+            fx.insert(key(i));
+            identity.insert(key(i));
+        }
+        let bench = |name: &str, hits: &dyn Fn(u64) -> bool| -> f64 {
+            let start = Instant::now();
+            let mut found = 0usize;
+            for p in 0..PROBES as u64 {
+                // Even probes hit (key in range), odd probes miss.
+                let i = if p % 2 == 0 {
+                    p % KEYS as u64
+                } else {
+                    KEYS as u64 + p
+                };
+                if std::hint::black_box(hits(key(i))) {
+                    found += 1;
+                }
+            }
+            assert_eq!(found, PROBES / 2, "{name}: probe mix must be half hits");
+            start.elapsed().as_secs_f64() / PROBES as f64
+        };
+        let fx_secs = bench("fx", &|k| fx.contains(&k));
+        let id_secs = bench("identity", &|k| identity.contains(&k));
+        println!(
+            "\nSeen-set probe cost ({KEYS} keys, {PROBES} probes): \
+             fx {:.1} ns, identity {:.1} ns ({:.2}x)",
+            fx_secs * 1e9,
+            id_secs * 1e9,
+            fx_secs / id_secs.max(1e-12),
+        );
+        report
+            .suite("seen_probe")
+            .metric("fx_probe_secs", fx_secs)
+            .metric("identity_probe_secs", id_secs)
+            .metric("identity_speedup", fx_secs / id_secs.max(1e-12));
+    }
 
     // Verifier query timings (paper §4): the same representative identities
     // `benches/verifier.rs` measures, recorded so the committed perf

@@ -589,6 +589,8 @@ mod tests {
             fp_confirm_mismatches: 0,
             materializations_avoided: 0,
             dedup_hits_materialized: 0,
+            materializations_deferred: 0,
+            dequeue_materializations: 0,
             profile: Default::default(),
         };
         let rows = vec![CircuitRow {

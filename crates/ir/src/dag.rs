@@ -16,9 +16,18 @@
 //! instruction order, same [`Circuit::fingerprint`], same
 //! [`GateHistogram`]) because the DAG caches a topological order seeded with
 //! the original sequence and maintained across splices.
+//!
+//! The DAG also carries the wire-hash caches behind
+//! [`crate::StructuralHash`]'s O(footprint) previews (DESIGN.md §13): a
+//! polynomial chain hash and instruction count per wire
+//! ([`CircuitDag::wire_chain`] / [`CircuitDag::wire_len`]) and a
+//! `(position, prefix)` cursor per node per operand wire
+//! ([`CircuitDag::wire_cursor`]), built by [`CircuitDag::from_circuit`] and
+//! maintained through [`CircuitDag::splice_with_footprint`].
 
 use crate::circuit::{Circuit, Instruction};
 use crate::gate::GateHistogram;
+use crate::shash;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -138,6 +147,10 @@ struct Node {
     preds: Vec<Option<NodeId>>,
     /// Next node on each operand's wire (`None` at the circuit output).
     succs: Vec<Option<NodeId>>,
+    /// Per operand wire: this node's 0-based position on the wire and the
+    /// wire's polynomial chain hash up to and *including* this node (the
+    /// prefix hash the structural-hash preview algebra cuts at).
+    cursors: Vec<(u32, u64)>,
 }
 
 /// A circuit in graph representation: nodes are gate instances, edges are
@@ -182,6 +195,11 @@ pub struct CircuitDag {
     /// increase along every wire edge — the fact the windowed convexity
     /// check exploits.
     position: Vec<u32>,
+    /// Number of instructions on each qubit wire.
+    wire_len: Vec<u32>,
+    /// Polynomial chain hash of each qubit wire's content sequence (the
+    /// full-wire prefix; see `crate::shash`). `0` for an empty wire.
+    wire_chain: Vec<u64>,
     /// Gate-type multiset, maintained incrementally.
     histogram: GateHistogram,
 }
@@ -195,9 +213,14 @@ impl CircuitDag {
         let mut slots: Vec<Option<Node>> = Vec::with_capacity(n);
         let mut last_on_qubit: Vec<Option<NodeId>> = vec![None; circuit.num_qubits()];
         let mut first_on_qubit: Vec<Option<NodeId>> = vec![None; circuit.num_qubits()];
+        let mut wire_len: Vec<u32> = vec![0; circuit.num_qubits()];
+        let mut wire_chain: Vec<u64> = vec![0; circuit.num_qubits()];
         for (i, instr) in circuit.instructions().iter().enumerate() {
             let id = NodeId(i as u32);
+            debug_assert!(!instr.qubits.is_empty(), "instruction touches no wire");
+            let term = shash::term(instr);
             let mut preds = Vec::with_capacity(instr.qubits.len());
+            let mut cursors = Vec::with_capacity(instr.qubits.len());
             for &q in &instr.qubits {
                 let pred = last_on_qubit[q];
                 if let Some(p) = pred {
@@ -215,12 +238,16 @@ impl CircuitDag {
                 }
                 preds.push(pred);
                 last_on_qubit[q] = Some(id);
+                wire_chain[q] = wire_chain[q].wrapping_mul(shash::BASE).wrapping_add(term);
+                cursors.push((wire_len[q], wire_chain[q]));
+                wire_len[q] += 1;
             }
             let arity = instr.qubits.len();
             slots.push(Some(Node {
                 instr: instr.clone(),
                 preds,
                 succs: vec![None; arity],
+                cursors,
             }));
         }
         CircuitDag {
@@ -232,6 +259,8 @@ impl CircuitDag {
             last_on_qubit,
             topo: (0..n as u32).map(NodeId).collect(),
             position: (0..n as u32).collect(),
+            wire_len,
+            wire_chain,
             histogram: *circuit.gate_histogram(),
         }
     }
@@ -311,6 +340,42 @@ impl CircuitDag {
     /// The cached topological order of the live nodes.
     pub fn topo_order(&self) -> &[NodeId] {
         &self.topo
+    }
+
+    /// Position of a live node in the cached topological order. Positions
+    /// strictly increase along wire edges, which incremental consumers (the
+    /// depth delta-coster's propagation heap) rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn topo_position(&self, id: NodeId) -> u32 {
+        let _ = self.node(id);
+        self.position[id.index()]
+    }
+
+    /// Polynomial chain hash of wire `q`'s content sequence (`0` when the
+    /// wire is empty). Maintained through splices; the cache behind
+    /// [`crate::StructuralHash::of`].
+    pub fn wire_chain(&self, q: usize) -> u64 {
+        self.wire_chain[q]
+    }
+
+    /// Number of instructions on wire `q`. Maintained through splices.
+    pub fn wire_len(&self, q: usize) -> u32 {
+        self.wire_len[q]
+    }
+
+    /// The wire-hash cursor of a live node on wire `q`: its 0-based position
+    /// on the wire and the wire's chain hash up to and including it. The
+    /// prefix the structural-hash preview algebra cuts at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live or does not act on wire `q`.
+    pub fn wire_cursor(&self, id: NodeId, q: usize) -> (u32, u64) {
+        let op = self.wire_operand(id, q);
+        self.node(id).cursors[op]
     }
 
     /// Live nodes with their instructions, in topological order.
@@ -521,11 +586,15 @@ impl CircuitDag {
                 preds.push(pred);
                 tail[q] = Some((id, op));
             }
+            debug_assert!(arity > 0, "instruction touches no wire");
             self.histogram.add(instr.gate);
             self.slots[id.index()] = Some(Node {
                 instr: instr.clone(),
                 preds,
                 succs: vec![None; arity],
+                // Placeholder; the touched-wire rewalk below fills these in
+                // once the wires are fully reconnected.
+                cursors: vec![(0, 0); arity],
             });
             inserted.push(id);
         }
@@ -562,6 +631,16 @@ impl CircuitDag {
                     self.slots[s.index()].as_mut().expect("live").preds[sop] = tail_id;
                 }
                 None => self.last_on_qubit[q] = tail_id,
+            }
+        }
+
+        // Maintain the wire-hash caches: every touched wire's chain changed
+        // from its entry point onward, so re-fold each from its (unchanged)
+        // entry prefix to the wire tail, updating the node cursors along the
+        // way. Untouched wires keep their caches bit-for-bit.
+        for (q, touched) in entry.iter().enumerate() {
+            if let Some(pred) = *touched {
+                self.refold_wire(q, pred);
             }
         }
 
@@ -630,6 +709,32 @@ impl CircuitDag {
         out
     }
 
+    /// Re-folds wire `q`'s chain hash and node cursors from the node after
+    /// `start_after` (the whole wire when `None`) to the wire tail, and
+    /// refreshes [`CircuitDag::wire_chain`] / [`CircuitDag::wire_len`].
+    /// `start_after`'s own cursor must still be valid.
+    fn refold_wire(&mut self, q: usize, start_after: Option<NodeId>) {
+        let (mut pos, mut chain, mut cursor) = match start_after {
+            Some(p) => {
+                let op = self.wire_operand(p, q);
+                let (ppos, pprefix) = self.node(p).cursors[op];
+                (ppos + 1, pprefix, self.node(p).succs[op])
+            }
+            None => (0, 0u64, self.first_on_qubit[q]),
+        };
+        while let Some(id) = cursor {
+            let op = self.wire_operand(id, q);
+            let next = self.node(id).succs[op];
+            let term = shash::term(&self.node(id).instr);
+            chain = chain.wrapping_mul(shash::BASE).wrapping_add(term);
+            self.slots[id.index()].as_mut().expect("live").cursors[op] = (pos, chain);
+            pos += 1;
+            cursor = next;
+        }
+        self.wire_len[q] = pos;
+        self.wire_chain[q] = chain;
+    }
+
     /// Operand position of wire `q` in the (live) node `id`.
     fn wire_operand(&self, id: NodeId, q: usize) -> usize {
         self.node(id)
@@ -670,14 +775,18 @@ impl CircuitDag {
         }
         let mut recount = GateHistogram::new();
         let mut last_seen: Vec<Option<NodeId>> = vec![None; self.num_qubits];
+        let mut walk_len: Vec<u32> = vec![0; self.num_qubits];
+        let mut walk_chain: Vec<u64> = vec![0; self.num_qubits];
         for &id in &self.topo {
             let node = self.node(id);
             recount.add(node.instr.gate);
             if node.preds.len() != node.instr.qubits.len()
                 || node.succs.len() != node.instr.qubits.len()
+                || node.cursors.len() != node.instr.qubits.len()
             {
                 return Err(format!("node {id} has mismatched edge arity"));
             }
+            let term = shash::term(&node.instr);
             for (op, &q) in node.instr.qubits.iter().enumerate() {
                 if node.preds[op] != last_seen[q] {
                     return Err(format!(
@@ -685,6 +794,15 @@ impl CircuitDag {
                         node.preds[op], last_seen[q]
                     ));
                 }
+                walk_chain[q] = walk_chain[q].wrapping_mul(shash::BASE).wrapping_add(term);
+                if node.cursors[op] != (walk_len[q], walk_chain[q]) {
+                    return Err(format!(
+                        "node {id} wire-hash cursor on q{q} is {:?}, expected {:?}",
+                        node.cursors[op],
+                        (walk_len[q], walk_chain[q])
+                    ));
+                }
+                walk_len[q] += 1;
                 if let Some(p) = node.preds[op] {
                     if position[p.index()] >= position[id.index()] {
                         return Err(format!("edge {p} → {id} violates the cached order"));
@@ -708,6 +826,13 @@ impl CircuitDag {
             }
             if seen_tail.is_none() && self.first_on_qubit[q].is_some() {
                 return Err(format!("wire q{q} has a head but no nodes"));
+            }
+            if (self.wire_len[q], self.wire_chain[q]) != (walk_len[q], walk_chain[q]) {
+                return Err(format!(
+                    "wire q{q} cached (len, chain) is {:?}, expected {:?}",
+                    (self.wire_len[q], self.wire_chain[q]),
+                    (walk_len[q], walk_chain[q])
+                ));
             }
         }
         for &id in &self.topo {

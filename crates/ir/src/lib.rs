@@ -18,15 +18,16 @@
 //!   (DESIGN.md §5);
 //! * [`GateSet`] — the Nam, IBM, Rigetti and Clifford+T gate sets of the
 //!   paper, and the enumeration of single-gate circuits;
-//! * [`StructuralHash`] — a commutation-invariant per-wire chain hash of
-//!   [`CircuitDag`]s (a complete invariant of the labeled DAG) with
-//!   touched-wires-only [`StructuralHash::preview`] /
-//!   [`StructuralHash::updated`] paths, the optimizer's duplicate-rejection
-//!   prefilter (DESIGN.md §9);
+//! * [`StructuralHash`] — an order-invariant polynomial per-wire chain hash
+//!   of [`CircuitDag`]s, a complete invariant of the labeled DAG and
+//!   therefore an *exact* commitment to the canonical form, with strict
+//!   O(footprint) [`StructuralHash::preview`] / [`StructuralHash::updated`]
+//!   paths off the DAG's maintained wire caches — the optimizer's dedup
+//!   identity (DESIGN.md §13);
 //! * [`CostModel`] — the cost metrics of the search (gate count,
-//!   multi-qubit gate count, T count, depth) with per-instruction additive
-//!   costing, shared by the optimizer's γ-precheck and the library
-//!   auditor's dead-rule lint;
+//!   multi-qubit gate count, T count, depth), with [`DeltaCoster`] making
+//!   delta-based costing exact for every model (depth included) so the
+//!   optimizer's γ-precheck runs before materialization;
 //! * [`canonicalize`] — the lexicographically smallest topological order of
 //!   a circuit's gate DAG, shared by the optimizer's seen-set and the
 //!   library auditor's canonicality lint;
@@ -74,9 +75,12 @@ pub mod shash;
 
 pub use canon::canonicalize;
 pub use circuit::{Circuit, Instruction};
-pub use cost::CostModel;
+pub use cost::{CostModel, DeltaCoster};
 pub use dag::{CircuitDag, NodeId, SpliceDelta, SpliceFootprint};
-pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use fx::{
+    FxBuildHasher, FxHashMap, FxHashSet, FxHasher, IdentityBuildHasher, IdentityHashSet,
+    IdentityHasher,
+};
 pub use gate::{Gate, GateHistogram, ALL_GATES};
 pub use gateset::GateSet;
 pub use param::{ExprSpec, ParamExpr, UnsupportedAngleError};

@@ -289,6 +289,10 @@ proptest! {
             };
             let delta = SpliceDelta { region: vec![id], replacement };
             let previewed = hash.preview(&dag, &delta);
+            // The O(footprint) prefix-hash preview must agree with the
+            // reference full-rewalk preview on the same unspliced DAG.
+            let rewalked = hash.previewed_rewalk(&dag, &delta);
+            prop_assert_eq!(rewalked.value(), previewed);
             let parent = dag.clone();
             let footprint = dag.splice_with_footprint(&delta);
             prop_assert_eq!(dag.validate(), Ok(()));
@@ -296,6 +300,13 @@ proptest! {
             prop_assert_eq!(previewed, from_scratch.value());
             hash = hash.updated(&parent, &dag, &footprint);
             prop_assert_eq!(hash.value(), from_scratch.value());
+            // Exactness across representations: the incrementally
+            // maintained hash equals a from-scratch hash of the circuit's
+            // *canonical* form — the identity the optimizer's seen-set
+            // relies on (DESIGN.md §13).
+            let canonical = quartz_ir::canonicalize(&dag.to_circuit());
+            let canonical_hash = StructuralHash::of(&CircuitDag::from_circuit(&canonical));
+            prop_assert_eq!(hash.value(), canonical_hash.value());
         }
     }
 }

@@ -5,4 +5,4 @@
 //! can reason about dead rules under the additive models without depending
 //! on the optimizer. See `quartz_ir::cost` for the implementation.
 
-pub use quartz_ir::CostModel;
+pub use quartz_ir::{CostModel, DeltaCoster};

@@ -64,7 +64,7 @@ mod xform;
 
 pub use baseline::{greedy_optimize, BaselineStats};
 pub use cache::{LibraryCache, LoadedLibrary};
-pub use cost::CostModel;
+pub use cost::{CostModel, DeltaCoster};
 pub use match_cache::{CacheStats, MatchCache};
 pub use matcher::{apply_all, apply_at, find_matches, Match, MatchContext};
 pub use preprocess::{

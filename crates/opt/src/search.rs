@@ -5,9 +5,24 @@
 //! Each step pops the best `batch_size` queue entries, expands them on worker
 //! threads (matching only the transformations the [`TransformationIndex`]
 //! says can possibly apply), and merges the resulting candidates
-//! sequentially in (cost, insertion order) priority order. Deduplication uses
-//! 64-bit canonical-form fingerprints ([`Circuit::fingerprint`]) instead of
-//! whole-circuit clones.
+//! sequentially in (cost, insertion order) priority order. Deduplication is
+//! keyed on the exact canonical-form-invariant [`StructuralHash`] (a
+//! complete invariant of the circuit DAG, DESIGN.md §13) — computed for a
+//! candidate in O(rewrite footprint) by previewing the parent's hash through
+//! the splice delta, with no materialization, canonicalization, or
+//! whole-circuit clone on the admission path.
+//!
+//! With [`SearchConfig::deferred_materialization`] (the default), a
+//! first-sight candidate is enqueued as (cost, hash, delta) alone — its
+//! circuit is never built unless it is actually dequeued, at which point the
+//! ordinary context derivation materializes it and an O(num qubits) re-read
+//! of the derived DAG's maintained wire hashes confirms the admission-time
+//! preview ([`SearchResult::fp_confirm_mismatches`] counts disagreements;
+//! the suites assert it 0). Candidate *costs* are exact before
+//! materialization too, for every cost model: the additive models by delta
+//! bookkeeping and depth by boundary-seeded longest-path propagation
+//! ([`quartz_ir::DeltaCoster`]), so the γ filter runs ahead of
+//! materialization even for [`CostModel::Depth`].
 //!
 //! Matching state is *derived*, not rebuilt: a dequeued entry carries the
 //! [`SpliceDelta`] that created it plus a handle to its parent's
@@ -22,12 +37,14 @@
 //! happens only at frontier roots ([`SearchResult::match_attempts`] vs
 //! [`SearchResult::scoped_rematches`], with the hit rate in
 //! [`SearchResult::cache_hit_rate`]).
-//! Candidates are ordered within each expansion by (cost, canonical
-//! fingerprint), which makes the exploration a function of the candidate
+//! Candidates are ordered within each expansion by (cost, structural hash),
+//! which makes the exploration a function of the candidate
 //! *sets* alone — so the incremental engine is bit-identical to the
 //! rebuild-every-entry engine (`incremental_contexts: false`), the cached
 //! engine is bit-identical to the re-match-every-entry engine
-//! (`cached_matches: false`, matching-effort counters aside), and with
+//! (`cached_matches: false`, matching-effort counters aside), the deferred
+//! engine is bit-identical to the eager one
+//! (`deferred_materialization: false`), and with
 //! `batch_size = 1` both visit exactly the states the sequential Algorithm 2
 //! visits. Larger batches trade strict best-first order for parallelism
 //! while remaining deterministic: worker results are merged in a fixed
@@ -54,7 +71,7 @@ use crate::match_cache::{CacheStats, MatchCache};
 use crate::matcher::{Match, MatchContext};
 use crate::xform::{canonicalize, Transformation};
 use quartz_gen::{IndexScratch, TransformationIndex};
-use quartz_ir::{Circuit, FxHashSet, SpliceDelta, StructuralHash};
+use quartz_ir::{Circuit, CircuitDag, IdentityHashSet, SpliceDelta, StructuralHash};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -113,22 +130,34 @@ pub struct SearchConfig {
     /// indexed incremental engine, so it is effective only when `use_index`
     /// and `incremental_contexts` are both `true`.
     pub cached_matches: bool,
-    /// When `true` (the default), duplicate candidates are rejected by an
-    /// O(rewrite footprint) order-invariant structural-hash preview
-    /// ([`StructuralHash::preview`]) *before* they are materialized: the
-    /// `canonicalize` + [`Circuit::fingerprint`] work — the dominant
-    /// per-candidate cost — runs only for first-sight candidates. The
-    /// materialized canonical fingerprint remains the authoritative seen-set
-    /// key, so results are bit-identical with the flag off (DESIGN.md §9).
-    /// Effective only for gate-additive cost models (everything but
-    /// [`CostModel::Depth`], whose candidates must be materialized to be
-    /// costed anyway). `false` materializes every γ-admissible candidate —
-    /// same results, more work — kept for benchmarking and as a safety
-    /// valve.
+    /// When `true` (the default), a candidate's seen-set key — its exact
+    /// canonical-invariant [`StructuralHash`] — is computed by an O(rewrite
+    /// footprint) preview off the parent's hash ([`StructuralHash::preview`])
+    /// *before* the candidate is materialized, under every cost model
+    /// (DESIGN.md §13). `false` computes the same hash from scratch on the
+    /// materialized candidate instead — the same key probed in the same
+    /// order, so results are bit-identical, just with every candidate paying
+    /// the materialize + canonicalize + rehash cost. Kept for benchmarking
+    /// and as a safety valve; turning it off also disables
+    /// [`SearchConfig::deferred_materialization`].
     pub incremental_fingerprints: bool,
+    /// When `true` (the default), first-sight candidates are enqueued as
+    /// (cost, hash, delta) without building their circuit at all: the
+    /// enqueue path runs no `apply_delta`, no `canonicalize`, and no clone.
+    /// A deferred entry is materialized only if it is actually dequeued —
+    /// through the same context derivation every dequeue performs anyway —
+    /// where an O(num qubits) read of the derived DAG's maintained wire
+    /// hashes confirms the admission-time preview (the
+    /// [`SearchResult::fp_confirm_mismatches`] canary). Outcomes are
+    /// bit-identical with the flag off; effective only when
+    /// [`SearchConfig::incremental_fingerprints`] and
+    /// [`SearchConfig::incremental_contexts`] are both on (a rebuilt context
+    /// needs the sequence form a deferred entry deliberately lacks).
+    pub deferred_materialization: bool,
     /// When `true`, per-phase wall-clock timings (matching, delta
-    /// construction, γ-precheck, canonicalization, fingerprinting,
-    /// deduplication) are accumulated into [`SearchResult::profile`].
+    /// construction, γ-precheck, hash previews, canonicalization,
+    /// fingerprinting, deduplication) are accumulated into
+    /// [`SearchResult::profile`].
     /// Default `false`: the hot path then executes no timing calls at all.
     pub profile: bool,
 }
@@ -148,6 +177,7 @@ impl Default for SearchConfig {
             incremental_contexts: true,
             cached_matches: true,
             incremental_fingerprints: true,
+            deferred_materialization: true,
             profile: false,
         }
     }
@@ -176,10 +206,10 @@ impl SearchConfig {
 /// Per-phase wall-clock breakdown of one search run, accumulated only when
 /// [`SearchConfig::profile`] is on (all-zero otherwise). The phases cover
 /// the per-candidate pipeline of `expand_entry`: finding matches, building
-/// splice deltas, the additive γ-precheck, materializing + canonicalizing
-/// survivors, fingerprinting them, and the seen-set probes (including the
-/// O(footprint) structural-hash preview of the incremental-fingerprint
-/// path, which is deduplication work by nature).
+/// splice deltas, the exact γ-precheck, the O(footprint) structural-hash
+/// previews, materializing + canonicalizing survivors, from-scratch hashes
+/// of materialized forms (the eager/nofp paths and the confirmation
+/// canaries), and the seen-set probes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchProfile {
     /// Enumerating structural matches: cache consultation, convexity
@@ -188,16 +218,22 @@ pub struct SearchProfile {
     pub matching: Duration,
     /// Building the instantiated [`SpliceDelta`] of each match.
     pub delta: Duration,
-    /// The additive-cost γ-precheck that rejects cost-increasing rewrites
-    /// before materialization.
+    /// The exact delta-cost γ-precheck that rejects cost-increasing
+    /// rewrites before materialization (all cost models, depth included).
     pub gamma_precheck: Duration,
+    /// O(footprint) structural-hash previews: computing candidates' exact
+    /// seen-set keys from the parent hash and the delta, without
+    /// materializing them. Zero with `incremental_fingerprints: false`.
+    pub preview: Duration,
     /// Applying the delta and canonicalizing the successor circuit — the
-    /// work [`SearchResult::materializations_avoided`] counts as skipped.
+    /// work [`SearchResult::materializations_avoided`] counts as skipped
+    /// and [`SearchResult::materializations_deferred`] pushes past enqueue.
     pub canonicalize: Duration,
-    /// Fingerprinting materialized canonical forms.
+    /// From-scratch structural hashes of materialized forms: the
+    /// authoritative hashes of the non-incremental engine and the
+    /// eager/dequeue-time confirmation canaries of the incremental one.
     pub fingerprint: Duration,
-    /// Seen-set probes: the structural-hash preview + fast-reject check and
-    /// the authoritative fingerprint lookups.
+    /// Seen-set probes.
     pub dedup: Duration,
 }
 
@@ -207,6 +243,7 @@ impl SearchProfile {
         self.matching += other.matching;
         self.delta += other.delta;
         self.gamma_precheck += other.gamma_precheck;
+        self.preview += other.preview;
         self.canonicalize += other.canonicalize;
         self.fingerprint += other.fingerprint;
         self.dedup += other.dedup;
@@ -217,6 +254,7 @@ impl SearchProfile {
         self.matching
             + self.delta
             + self.gamma_precheck
+            + self.preview
             + self.canonicalize
             + self.fingerprint
             + self.dedup
@@ -224,11 +262,12 @@ impl SearchProfile {
 
     /// (name, seconds) pairs for every phase, in pipeline order — the shape
     /// benchmark reports emit.
-    pub fn phases(&self) -> [(&'static str, f64); 6] {
+    pub fn phases(&self) -> [(&'static str, f64); 7] {
         [
             ("matching", self.matching.as_secs_f64()),
             ("delta", self.delta.as_secs_f64()),
             ("gamma_precheck", self.gamma_precheck.as_secs_f64()),
+            ("preview", self.preview.as_secs_f64()),
             ("canonicalize", self.canonicalize.as_secs_f64()),
             ("fingerprint", self.fingerprint.as_secs_f64()),
             ("dedup", self.dedup.as_secs_f64()),
@@ -259,9 +298,10 @@ pub struct SearchResult {
     /// Transformations skipped by the index's histogram filter — each one a
     /// pattern match the linear scan would have attempted and lost.
     pub match_skips: usize,
-    /// γ-admissible candidate circuits discarded because their canonical
-    /// fingerprint was already in the seen-set. (Candidates rejected by the
-    /// γ threshold are dropped before fingerprinting and not counted.)
+    /// γ-admissible candidate circuits discarded because their exact
+    /// canonical-invariant structural hash was already in the seen-set.
+    /// (Candidates rejected by the γ threshold are dropped before the
+    /// seen-probe and not counted.)
     pub dedup_hits: usize,
     /// Match contexts rebuilt from the sequence form (O(circuit) each).
     /// With incremental contexts enabled these are exactly the frontier
@@ -290,27 +330,45 @@ pub struct SearchResult {
     /// separately from the full-circuit `match_attempts`.
     pub scoped_rematches: usize,
     /// Duplicate candidates rejected by the O(footprint) structural-hash
-    /// preview *before* materialization (DESIGN.md §9). A subset of
+    /// preview *before* materialization (DESIGN.md §9, §13). A subset of
     /// [`SearchResult::dedup_hits`]; always 0 with
-    /// `incremental_fingerprints: false` or a non-additive cost model.
+    /// `incremental_fingerprints: false`.
     pub fp_fast_rejects: usize,
-    /// `canonicalize` + `fingerprint` materializations the fast-reject path
+    /// `canonicalize` + rehash materializations the fast-reject path
     /// skipped — one per fast reject, the work a materializing engine would
     /// have spent on the same candidate.
     pub materializations_avoided: usize,
-    /// Candidates whose structural-hash preview claimed *first sight* but
-    /// whose materialized canonical fingerprint was already in the seen-set.
-    /// By the invariance argument of DESIGN.md §9 (equal canonical forms
-    /// hash equally) this cannot happen; the counter is a runtime canary
-    /// and is asserted 0 by the benchmark suites.
+    /// Structural-hash previews contradicted by a from-scratch hash of the
+    /// materialized circuit — the eager engine checks every first-sight
+    /// candidate at admission, the deferred engine checks every dequeued
+    /// deferred entry against its derived DAG's maintained wire hashes. By
+    /// the exactness argument of DESIGN.md §13 (the preview algebra and the
+    /// maintained caches compute the same complete invariant) this cannot
+    /// happen; the counter is a runtime canary and is asserted 0 by the
+    /// benchmark suites. On a mismatch the search proceeds with the
+    /// materialized (authoritative) hash.
     pub fp_confirm_mismatches: usize,
-    /// Duplicate candidates that were detected only *after* materialization:
-    /// worker-side fingerprint confirmations plus merge-time seen-set hits.
-    /// Disjoint from [`SearchResult::fp_fast_rejects`] by increment site, so
-    /// `dedup_hits == fp_fast_rejects + dedup_hits_materialized` is an
-    /// accounting identity (asserted by tests and the bench suites). With
-    /// the fast path off, equals `dedup_hits`.
+    /// Duplicate candidates that were detected only at a seen-probe *after*
+    /// the preview stage: the non-incremental engine's materialized-hash
+    /// probes plus merge-time seen-set hits (duplicates enqueued earlier in
+    /// the same batch, counted here whether or not they were ever
+    /// materialized). Disjoint from [`SearchResult::fp_fast_rejects`] by
+    /// increment site, so `dedup_hits == fp_fast_rejects +
+    /// dedup_hits_materialized` is an accounting identity (asserted by
+    /// tests and the bench suites). With the fast path off, equals
+    /// `dedup_hits`.
     pub dedup_hits_materialized: usize,
+    /// First-sight candidates enqueued *without* a circuit: the deferred
+    /// engine's (cost, hash, delta)-only pushes, each one an `apply_delta` +
+    /// `canonicalize` + clone that never ran. Always 0 with
+    /// `deferred_materialization: false` (or when deferral is ineffective
+    /// because the incremental fingerprint/context engines are off).
+    pub materializations_deferred: usize,
+    /// Deferred entries that were actually dequeued and materialized through
+    /// context derivation — the small minority of
+    /// [`SearchResult::materializations_deferred`] whose cost was ever paid
+    /// (each also runs the dequeue-time hash confirmation).
+    pub dequeue_materializations: usize,
     /// Per-phase timing breakdown; all-zero unless [`SearchConfig::profile`]
     /// was on.
     pub profile: SearchProfile,
@@ -395,20 +453,23 @@ enum CtxSource {
     },
 }
 
-/// A queued frontier entry: a candidate circuit with its cost, FIFO
-/// insertion order, and the recipe for materializing its match context.
+/// A queued frontier entry: its cost, FIFO insertion order, the recipe for
+/// materializing its match context, its exact structural hash — and, unless
+/// the entry was deferred, its circuit.
 pub(crate) struct QueueEntry {
     cost: usize,
     order: usize,
-    circuit: Circuit,
+    /// The candidate's canonicalized circuit. `None` for deferred entries
+    /// ([`SearchConfig::deferred_materialization`]): the circuit is rebuilt
+    /// on dequeue via context derivation from `ctx`, which every dequeue
+    /// performs anyway.
+    circuit: Option<Circuit>,
     ctx: CtxSource,
-    /// The circuit's [`StructuralHash`], threaded from the preview that
-    /// admitted it so its own expansion can preview *its* successors
-    /// without an O(circuit) rehash. `None` when the incremental-fingerprint
-    /// path is inactive for the run (the expansion then skips the fast
-    /// path), or for frontier roots (which rehash from scratch, exactly as
-    /// they rebuild their match context).
-    shash: Option<StructuralHash>,
+    /// The circuit's exact [`StructuralHash`] — its seen-set identity.
+    /// Threaded from the preview (or the materialized rehash) that admitted
+    /// it, so its own expansion previews *its* successors without an
+    /// O(circuit) rehash.
+    shash: StructuralHash,
 }
 
 impl PartialEq for QueueEntry {
@@ -435,18 +496,19 @@ impl PartialOrd for QueueEntry {
     }
 }
 
-/// A successor circuit produced by one expansion, with its canonical
-/// fingerprint and cost precomputed on the worker, and the splice delta
-/// kept so the successor's own context can be derived if it is dequeued.
+/// A first-sight successor produced by one expansion, with its exact cost
+/// and structural hash precomputed on the worker, and the splice delta kept
+/// so the successor's own context (and, for deferred candidates, its
+/// circuit) can be derived if it is dequeued.
 struct Candidate {
-    circuit: Circuit,
-    fingerprint: u64,
+    /// The canonicalized successor circuit — `None` when the deferred
+    /// engine admitted the candidate on (cost, hash, delta) alone.
+    circuit: Option<Circuit>,
     cost: usize,
     delta: SpliceDelta,
-    /// Structural hash of `circuit`, derived incrementally from the parent's
-    /// hash (`Some` exactly when the incremental-fingerprint path is active
-    /// for the run).
-    shash: Option<StructuralHash>,
+    /// Exact structural hash of the successor: its seen-set identity and
+    /// its deterministic tie-break in the candidate order.
+    shash: StructuralHash,
 }
 
 /// Everything a worker produced for one dequeued circuit.
@@ -466,12 +528,15 @@ pub(crate) struct Expansion {
     scoped_rematches: usize,
     fp_fast_rejects: usize,
     fp_confirm_mismatches: usize,
+    /// 1 when this expansion's entry arrived deferred (no circuit) and was
+    /// materialized — and hash-confirmed — at dequeue.
+    dequeue_materializations: usize,
     profile: SearchProfile,
 }
 
-/// The per-circuit state of one search: the priority queue, the fingerprint
-/// seen-set, the incumbent best circuit, the FIFO insertion counter, and the
-/// run statistics.
+/// The per-circuit state of one search: the priority queue, the
+/// structural-hash seen-set, the incumbent best circuit, the FIFO insertion
+/// counter, and the run statistics.
 ///
 /// Extracted from [`Optimizer::optimize`] so that the single-circuit driver
 /// and the multi-circuit [`crate::service::OptimizationService`] (one
@@ -487,15 +552,14 @@ pub(crate) struct Frontier {
     /// configuration.
     budget: usize,
     queue: BinaryHeap<QueueEntry>,
-    /// Canonical fingerprints of every circuit ever enqueued — the
-    /// authoritative deduplication key.
-    seen: FxHashSet<u64>,
-    /// Structural-hash values of the same circuits, kept in lock-step with
-    /// `seen` (same canonical form ⟹ same structural hash, so a merge-time
-    /// duplicate's hash is already present and needs no insert). Workers
-    /// probe a frozen snapshot of this set to reject duplicates in
-    /// O(footprint) before materializing them (DESIGN.md §9).
-    seen_fast: FxHashSet<u64>,
+    /// Structural-hash values of every circuit ever enqueued — the
+    /// deduplication identity. The hash is an exact invariant of the
+    /// canonical form (DESIGN.md §13), so probing it is equivalent to
+    /// probing canonical fingerprints; the keys are already finalized, so
+    /// the set uses the no-op [`IdentityHashSet`] hasher. Workers probe a
+    /// frozen snapshot to reject duplicates in O(footprint) before
+    /// materializing them (DESIGN.md §9).
+    seen: IdentityHashSet,
     best_circuit: Circuit,
     best_cost: usize,
     initial_cost: usize,
@@ -513,6 +577,8 @@ pub(crate) struct Frontier {
     fp_fast_rejects: usize,
     fp_confirm_mismatches: usize,
     dedup_hits_materialized: usize,
+    materializations_deferred: usize,
+    dequeue_materializations: usize,
     profile: SearchProfile,
     improvement_trace: Vec<(Duration, usize)>,
 }
@@ -523,27 +589,23 @@ impl Frontier {
     pub(crate) fn new(input: &Circuit, cost_model: CostModel, budget: usize) -> Self {
         let initial_cost = cost_model.cost(input);
         let canonical_input = canonicalize(input);
-        let mut seen = FxHashSet::default();
-        seen.insert(canonical_input.fingerprint());
-        // Seed the fast seen-set in lock-step: O(circuit), once per search,
-        // like the root's context rebuild.
-        let mut seen_fast = FxHashSet::default();
-        seen_fast.insert(
-            StructuralHash::of(&quartz_ir::CircuitDag::from_circuit(&canonical_input)).value(),
-        );
+        // Hash the root from scratch: O(circuit), once per search, like the
+        // root's context rebuild.
+        let root_shash = StructuralHash::of(&CircuitDag::from_circuit(&canonical_input));
+        let mut seen = IdentityHashSet::default();
+        seen.insert(root_shash.value());
         let mut queue = BinaryHeap::new();
         queue.push(QueueEntry {
             cost: initial_cost,
             order: 0,
-            circuit: canonical_input.clone(),
+            circuit: Some(canonical_input.clone()),
             ctx: CtxSource::Root,
-            shash: None,
+            shash: root_shash,
         });
         Frontier {
             budget,
             queue,
             seen,
-            seen_fast,
             best_circuit: canonical_input,
             best_cost: initial_cost,
             initial_cost,
@@ -561,6 +623,8 @@ impl Frontier {
             fp_fast_rejects: 0,
             fp_confirm_mismatches: 0,
             dedup_hits_materialized: 0,
+            materializations_deferred: 0,
+            dequeue_materializations: 0,
             profile: SearchProfile::default(),
             improvement_trace: vec![(Duration::ZERO, initial_cost)],
         }
@@ -591,15 +655,9 @@ impl Frontier {
         self.budget.saturating_sub(self.iterations)
     }
 
-    /// The fingerprints of every circuit ever enqueued.
-    pub(crate) fn seen(&self) -> &FxHashSet<u64> {
+    /// The structural-hash values of every circuit ever enqueued.
+    pub(crate) fn seen(&self) -> &IdentityHashSet {
         &self.seen
-    }
-
-    /// The structural-hash values of every circuit ever enqueued (the fast
-    /// prefilter mirror of [`Frontier::seen`]).
-    pub(crate) fn seen_fast(&self) -> &FxHashSet<u64> {
-        &self.seen_fast
     }
 
     /// Improvement trace recorded so far (grows during [`Frontier::merge`]).
@@ -626,11 +684,17 @@ impl Frontier {
         }
         self.iterations += batch.len();
         for entry in &batch {
+            // Merge already recorded any improvement when the entry was
+            // enqueued and `best_cost` only decreases, so a deferred
+            // (circuit-less) entry can never beat the incumbent here.
+            debug_assert!(entry.cost >= self.best_cost || entry.circuit.is_some());
             if entry.cost < self.best_cost {
-                self.best_cost = entry.cost;
-                self.best_circuit = entry.circuit.clone();
-                self.improvement_trace
-                    .push((start.elapsed(), self.best_cost));
+                if let Some(circuit) = &entry.circuit {
+                    self.best_cost = entry.cost;
+                    self.best_circuit = circuit.clone();
+                    self.improvement_trace
+                        .push((start.elapsed(), self.best_cost));
+                }
             }
         }
         batch
@@ -649,6 +713,7 @@ impl Frontier {
         self.scoped_rematches += expansion.scoped_rematches;
         self.fp_fast_rejects += expansion.fp_fast_rejects;
         self.fp_confirm_mismatches += expansion.fp_confirm_mismatches;
+        self.dequeue_materializations += expansion.dequeue_materializations;
         // Every worker-side dedup hit that was not a fast reject was
         // detected on a materialized candidate (the accounting identity of
         // DESIGN.md §9).
@@ -660,11 +725,11 @@ impl Frontier {
             self.ctx_derives += 1;
         }
         for candidate in expansion.candidates {
-            if self.seen.contains(&candidate.fingerprint) {
-                // A merge-time duplicate (enqueued by an earlier expansion
-                // of this batch) was necessarily materialized. Its
-                // structural hash equals the earlier copy's — same canonical
-                // form, same hash — so `seen_fast` already covers it.
+            if self.seen.contains(&candidate.shash.value()) {
+                // A merge-time duplicate: enqueued by an earlier expansion
+                // of this batch. Counted as a materialized detection for
+                // accounting-name stability even when the deferred engine
+                // never built the circuit.
                 self.dedup_hits += 1;
                 self.dedup_hits_materialized += 1;
                 continue;
@@ -672,14 +737,20 @@ impl Frontier {
             if (candidate.cost as f64) < config.gamma * self.best_cost as f64 {
                 if candidate.cost < self.best_cost {
                     self.best_cost = candidate.cost;
-                    self.best_circuit = candidate.circuit.clone();
+                    // A deferred candidate that improves the incumbent must
+                    // be materialized now — the incumbent is the one place a
+                    // concrete circuit is non-negotiable.
+                    self.best_circuit = match &candidate.circuit {
+                        Some(circuit) => circuit.clone(),
+                        None => canonicalize(&expansion.state.ctx.apply_delta(&candidate.delta)),
+                    };
                     self.improvement_trace
                         .push((start.elapsed(), self.best_cost));
                 }
                 self.order += 1;
-                self.seen.insert(candidate.fingerprint);
-                if let Some(hash) = &candidate.shash {
-                    self.seen_fast.insert(hash.value());
+                self.seen.insert(candidate.shash.value());
+                if candidate.circuit.is_none() {
+                    self.materializations_deferred += 1;
                 }
                 let ctx = if config.incremental_contexts {
                     CtxSource::Derived {
@@ -736,6 +807,8 @@ impl Frontier {
             materializations_avoided: self.fp_fast_rejects,
             fp_confirm_mismatches: self.fp_confirm_mismatches,
             dedup_hits_materialized: self.dedup_hits_materialized,
+            materializations_deferred: self.materializations_deferred,
+            dequeue_materializations: self.dequeue_materializations,
             profile: self.profile,
         }
     }
@@ -872,11 +945,11 @@ impl Optimizer {
             // batch (the seen-set and best cost), so their pre-filters are
             // conservative and the sequential merge below remains exact: a
             // candidate failing γ against the frozen best also fails against
-            // any (only ever lower) merge-time best, and a fingerprint in the
+            // any (only ever lower) merge-time best, and a hash in the
             // frozen seen-set is still in it at merge time.
             let frozen_best = frontier.best_cost();
             let expansions = expand_in_order(&batch, num_threads, |entry| {
-                self.expand_entry(entry, frozen_best, frontier.seen(), frontier.seen_fast())
+                self.expand_entry(entry, frozen_best, frontier.seen())
             });
 
             // Deterministic merge in batch (priority) order; with
@@ -897,9 +970,9 @@ impl Optimizer {
     /// through the index (or the full scan), obtains each surviving
     /// transformation's match set (served from the cache, with a use-time
     /// convexity check, or by matching anchored on the context), and
-    /// canonicalizes/fingerprints/costs every successor. Candidates are
-    /// sorted by (cost, fingerprint) so the expansion's output is a function
-    /// of the candidate set alone — independent of the circuit's sequence
+    /// delta-costs/hashes every successor. Candidates are sorted by
+    /// (cost, structural hash) so the expansion's output is a function of
+    /// the candidate set alone — independent of the circuit's sequence
     /// representation, of match enumeration order, of whether a match came
     /// from the cache, and of wall-clock time (the timeout is checked
     /// between dequeued entries, never mid-scan). Pure with respect to the
@@ -909,8 +982,7 @@ impl Optimizer {
         &self,
         entry: &QueueEntry,
         frozen_best: usize,
-        seen: &FxHashSet<u64>,
-        seen_fast: &FxHashSet<u64>,
+        seen: &IdentityHashSet,
     ) -> Expansion {
         // Per-thread scratch: the index dispatch's visited set and the
         // candidate-id buffer, reused across dequeues so the hot loop
@@ -921,7 +993,7 @@ impl Optimizer {
         }
         SCRATCH.with(|scratch| {
             let (index_scratch, ids) = &mut *scratch.borrow_mut();
-            self.expand_entry_with_scratch(entry, frozen_best, seen, seen_fast, index_scratch, ids)
+            self.expand_entry_with_scratch(entry, frozen_best, seen, index_scratch, ids)
         })
     }
 
@@ -929,8 +1001,7 @@ impl Optimizer {
         &self,
         entry: &QueueEntry,
         frozen_best: usize,
-        seen: &FxHashSet<u64>,
-        seen_fast: &FxHashSet<u64>,
+        seen: &IdentityHashSet,
         index_scratch: &mut IndexScratch,
         ids: &mut Vec<usize>,
     ) -> Expansion {
@@ -942,7 +1013,12 @@ impl Optimizer {
         let (mut state, rebuilt, mut cache_stats) = match &entry.ctx {
             CtxSource::Root => (
                 ExpandedState {
-                    ctx: MatchContext::new(&entry.circuit),
+                    ctx: MatchContext::new(
+                        entry
+                            .circuit
+                            .as_ref()
+                            .expect("root and eager entries are materialized"),
+                    ),
                     cache: None,
                 },
                 true,
@@ -1020,29 +1096,44 @@ impl Optimizer {
         let mut profile = SearchProfile::default();
         let cost_model = self.config.cost_model;
         let gamma = self.config.gamma;
-        // For gate-additive cost models a candidate's cost is the parent's
-        // plus the rewrite's O(footprint) delta, so the γ filter can reject
-        // cost-increasing rewrites *before* the O(circuit) materialize +
-        // canonicalize + fingerprint work — by far the dominant per-match
-        // cost on large circuits. Depth (non-additive) takes the slow path.
-        let additive_parent_cost: Option<usize> = cost_model
-            .is_additive()
-            .then(|| cost_model.cost(&entry.circuit));
-        // The incremental-fingerprint fast path rides the additive precheck:
-        // for non-additive models every candidate must be materialized to be
-        // costed anyway, so a pre-materialization seen-probe would change
-        // which rejects count as `dedup_hits` (γ filtering happens after
-        // materialization there) without saving any work.
-        let parent_shash: Option<StructuralHash> =
-            (self.config.incremental_fingerprints && additive_parent_cost.is_some()).then(|| {
-                match &entry.shash {
-                    // Threaded from the preview that admitted this entry.
-                    Some(hash) => hash.clone(),
-                    // Frontier root: one O(circuit) rehash, like the
-                    // context rebuild.
-                    None => StructuralHash::of(state.ctx.dag()),
+        let incremental_fp = self.config.incremental_fingerprints;
+        // Deferral needs both incremental pillars: the preview (to admit on
+        // hash alone) and derived contexts (to rebuild a dequeued deferred
+        // entry's circuit from its parent + delta).
+        let deferred = self.config.deferred_materialization
+            && self.config.incremental_fingerprints
+            && self.config.incremental_contexts;
+        // A deferred entry carries no circuit: its matching state above was
+        // derived from the parent's context, and this is the moment it
+        // becomes concrete. Hash the derived DAG from scratch and confirm
+        // it against the preview that admitted the entry — two independent
+        // computations (splice-maintained caches vs preview algebra) whose
+        // agreement is the runtime canary. The materialized hash is
+        // authoritative on mismatch.
+        let mut dequeue_materializations = 0usize;
+        let mut confirm_time = Duration::ZERO;
+        let confirmed: Option<StructuralHash> = match &entry.circuit {
+            Some(_) => None,
+            None => {
+                dequeue_materializations = 1;
+                let t_fp = profiling.then(Instant::now);
+                let confirmed = StructuralHash::of(state.ctx.dag());
+                if let Some(t) = t_fp {
+                    confirm_time = t.elapsed();
                 }
-            });
+                if confirmed.value() != entry.shash.value() {
+                    fp_confirm_mismatches += 1;
+                }
+                Some(confirmed)
+            }
+        };
+        let entry_shash: &StructuralHash = confirmed.as_ref().unwrap_or(&entry.shash);
+        // Exact O(footprint) successor costing for every model — additive
+        // per-gate sums and critical-path depth alike — so the γ filter
+        // rejects cost-increasing rewrites *before* the O(circuit)
+        // materialize + canonicalize work, by far the dominant per-match
+        // cost on large circuits.
+        let coster = cost_model.delta_coster(state.ctx.dag());
         let mut consider = |ctx: &MatchContext, xform: &Transformation, m: &Match| {
             let t_delta = profiling.then(Instant::now);
             let delta = ctx.delta_for(xform, m);
@@ -1053,121 +1144,136 @@ impl Optimizer {
                 return;
             };
             let t_gamma = profiling.then(Instant::now);
-            let precomputed_cost = additive_parent_cost.map(|parent| {
-                let removed: usize = delta
-                    .region
-                    .iter()
-                    .map(|&n| {
-                        cost_model
-                            .instruction_cost(ctx.dag().instruction(n))
-                            .expect("additive model")
-                    })
-                    .sum();
-                let added: usize = delta
-                    .replacement
-                    .iter()
-                    .map(|i| cost_model.instruction_cost(i).expect("additive model"))
-                    .sum();
-                parent + added - removed
-            });
-            let gamma_rejected = matches!(
-                precomputed_cost,
-                Some(cost) if (cost as f64) >= gamma * frozen_best as f64
-            );
+            let cost = coster.cost_after(&delta);
+            let gamma_rejected = (cost as f64) >= gamma * frozen_best as f64;
             if let Some(t) = t_gamma {
                 profile.gamma_precheck += t.elapsed();
             }
             if gamma_rejected {
                 return;
             }
-            // O(footprint) duplicate rejection: preview the successor's
-            // structural hash straight off the parent DAG and the delta —
-            // without applying the rewrite — and probe the frozen fast
-            // seen-set. A hit proves (modulo the 2⁻⁶⁴ collision class the
-            // fingerprint seen-set already accepts) the canonical form has
-            // been enqueued before, so the baseline engine would have
-            // discarded this candidate right after materializing it
-            // (DESIGN.md §9).
-            let child_shash = parent_shash.as_ref().map(|h| {
+            if incremental_fp {
+                // O(footprint) duplicate rejection: preview the successor's
+                // exact structural hash straight off the parent DAG and the
+                // delta — without applying the rewrite — and probe the
+                // frozen seen-set. The hash is a complete invariant of the
+                // canonical form (DESIGN.md §13), so a hit *is* a duplicate
+                // and the candidate dies without ever being materialized.
                 let t_preview = profiling.then(Instant::now);
-                let value = h.preview(ctx.dag(), &delta);
+                let value = entry_shash.preview(ctx.dag(), &delta);
                 if let Some(t) = t_preview {
+                    profile.preview += t.elapsed();
+                }
+                let t_dedup = profiling.then(Instant::now);
+                let seen_hit = seen.contains(&value);
+                if let Some(t) = t_dedup {
                     profile.dedup += t.elapsed();
                 }
-                value
-            });
-            if let Some(value) = child_shash {
-                if seen_fast.contains(&value) {
+                if seen_hit {
                     dedup_hits += 1;
                     fp_fast_rejects += 1;
                     return;
                 }
-            }
-            let t_canon = profiling.then(Instant::now);
-            let canonical = canonicalize(&ctx.apply_delta(&delta));
-            if let Some(t) = t_canon {
-                profile.canonicalize += t.elapsed();
-            }
-            let cost = match precomputed_cost {
-                Some(cost) => {
+                if deferred {
+                    // First sight: promote the previewed value to a full
+                    // carryable hash (still O(footprint)) and admit the
+                    // candidate on (cost, hash, delta) alone — no circuit
+                    // is built until (and unless) the entry is dequeued.
+                    let t_preview = profiling.then(Instant::now);
+                    let full = entry_shash.previewed(ctx.dag(), &delta);
+                    if let Some(t) = t_preview {
+                        profile.preview += t.elapsed();
+                    }
+                    debug_assert_eq!(full.value(), value);
+                    // Debug builds re-derive the deferred admission from
+                    // the materialized successor: same cost, same hash.
+                    #[cfg(debug_assertions)]
+                    {
+                        let canonical = canonicalize(&ctx.apply_delta(&delta));
+                        debug_assert_eq!(cost, cost_model.cost(&canonical));
+                        debug_assert_eq!(
+                            full.value(),
+                            StructuralHash::of(&CircuitDag::from_circuit(&canonical)).value(),
+                            "structural-hash preview diverged from the materialized circuit"
+                        );
+                    }
+                    candidates.push(Candidate {
+                        circuit: None,
+                        cost,
+                        delta,
+                        shash: full,
+                    });
+                } else {
+                    // Eager reference engine: materialize, then confirm the
+                    // preview against a from-scratch hash of the canonical
+                    // form — the runtime canary the deferred engine moves
+                    // to dequeue time.
+                    let t_canon = profiling.then(Instant::now);
+                    let canonical = canonicalize(&ctx.apply_delta(&delta));
+                    if let Some(t) = t_canon {
+                        profile.canonicalize += t.elapsed();
+                    }
                     debug_assert_eq!(cost, cost_model.cost(&canonical));
-                    cost
+                    let t_fp = profiling.then(Instant::now);
+                    let materialized = StructuralHash::of(&CircuitDag::from_circuit(&canonical));
+                    if let Some(t) = t_fp {
+                        profile.fingerprint += t.elapsed();
+                    }
+                    if materialized.value() != value {
+                        // Counted as a canary, asserted 0 by the suites;
+                        // the materialized hash is authoritative, so
+                        // re-probe the seen-set with it.
+                        fp_confirm_mismatches += 1;
+                        let t_dedup = profiling.then(Instant::now);
+                        let seen_hit = seen.contains(&materialized.value());
+                        if let Some(t) = t_dedup {
+                            profile.dedup += t.elapsed();
+                        }
+                        if seen_hit {
+                            dedup_hits += 1;
+                            return;
+                        }
+                    }
+                    candidates.push(Candidate {
+                        circuit: Some(canonical),
+                        cost,
+                        delta,
+                        shash: materialized,
+                    });
                 }
-                None => cost_model.cost(&canonical),
-            };
-            if (cost as f64) >= gamma * frozen_best as f64 {
-                return;
-            }
-            let t_fp = profiling.then(Instant::now);
-            let fingerprint = canonical.fingerprint();
-            if let Some(t) = t_fp {
-                profile.fingerprint += t.elapsed();
-            }
-            // The preview must agree with a from-scratch hash of the
-            // materialized successor — the invariance DESIGN.md §9 argues.
-            #[cfg(debug_assertions)]
-            if let Some(value) = child_shash {
-                debug_assert_eq!(
-                    value,
-                    StructuralHash::of(&quartz_ir::CircuitDag::from_circuit(&canonical)).value(),
-                    "structural-hash preview diverged from the materialized circuit"
-                );
-            }
-            let t_dedup = profiling.then(Instant::now);
-            let seen_hit = seen.contains(&fingerprint);
-            if let Some(t) = t_dedup {
-                profile.dedup += t.elapsed();
-            }
-            if seen_hit {
-                dedup_hits += 1;
-                if child_shash.is_some() {
-                    // First sight by structural hash but already seen by
-                    // fingerprint: impossible while the invariance argument
-                    // holds. Counted as a canary, asserted 0 by the suites.
-                    fp_confirm_mismatches += 1;
+            } else {
+                // No incremental fingerprints: materialize and hash from
+                // scratch, then probe the same seen-set with the same exact
+                // identity. The check order (γ precheck, then hash probe)
+                // matches the fast path, so every engine configuration sees
+                // identical dedup_hits.
+                let t_canon = profiling.then(Instant::now);
+                let canonical = canonicalize(&ctx.apply_delta(&delta));
+                if let Some(t) = t_canon {
+                    profile.canonicalize += t.elapsed();
                 }
-                return;
-            }
-            // First sight: promote the previewed value to a full carryable
-            // hash so this candidate's own expansion can preview *its*
-            // successors incrementally. Only first-sight survivors (a few
-            // percent of candidates on realistic searches) pay this.
-            let child_hash = parent_shash.as_ref().map(|h| {
-                let t_preview = profiling.then(Instant::now);
-                let full = h.previewed(ctx.dag(), &delta);
-                if let Some(t) = t_preview {
+                debug_assert_eq!(cost, cost_model.cost(&canonical));
+                let t_fp = profiling.then(Instant::now);
+                let shash = StructuralHash::of(&CircuitDag::from_circuit(&canonical));
+                if let Some(t) = t_fp {
+                    profile.fingerprint += t.elapsed();
+                }
+                let t_dedup = profiling.then(Instant::now);
+                let seen_hit = seen.contains(&shash.value());
+                if let Some(t) = t_dedup {
                     profile.dedup += t.elapsed();
                 }
-                debug_assert_eq!(Some(full.value()), child_shash);
-                full
-            });
-            candidates.push(Candidate {
-                circuit: canonical,
-                fingerprint,
-                cost,
-                delta,
-                shash: child_hash,
-            });
+                if seen_hit {
+                    dedup_hits += 1;
+                    return;
+                }
+                candidates.push(Candidate {
+                    circuit: Some(canonical),
+                    cost,
+                    delta,
+                    shash,
+                });
+            }
         };
         let t_loop = profiling.then(Instant::now);
         for &id in ids.iter() {
@@ -1199,13 +1305,18 @@ impl Optimizer {
             profile.matching += t.elapsed().saturating_sub(
                 profile.delta
                     + profile.gamma_precheck
+                    + profile.preview
                     + profile.canonicalize
                     + profile.fingerprint
                     + profile.dedup,
             );
         }
+        // The dequeue-time confirmation hash ran before the dispatch loop;
+        // account for it only now so the matching residual above stays a
+        // pure measurement of the loop.
+        profile.fingerprint += confirm_time;
         attempts += cache_stats.full_passes;
-        candidates.sort_by_key(|c| (c.cost, c.fingerprint));
+        candidates.sort_by_key(|c| (c.cost, c.shash.value()));
         Expansion {
             state: Arc::new(state),
             rebuilt,
@@ -1219,6 +1330,7 @@ impl Optimizer {
             scoped_rematches: cache_stats.scoped_runs,
             fp_fast_rejects,
             fp_confirm_mismatches,
+            dequeue_materializations,
             profile,
         }
     }
@@ -1654,11 +1766,12 @@ mod tests {
         }
     }
 
-    /// For the non-additive Depth cost model the fast path must disable
-    /// itself (candidates must be materialized to be costed anyway) and
-    /// report no fast-path activity — results identical either way.
+    /// Delta-costing makes the γ precheck exact for the non-additive Depth
+    /// model, so the fast path stays *active* there: duplicates are
+    /// fast-rejected before materialization and the outcomes are
+    /// bit-identical to the materializing engine's.
     #[test]
-    fn incremental_fingerprints_disable_themselves_for_depth_cost() {
+    fn depth_cost_keeps_the_prefilter_active() {
         let base = nam_optimizer(2, 2, 0);
         let c = redundant_three_qubit_circuit();
         let run = |incremental_fingerprints: bool| {
@@ -1675,10 +1788,65 @@ mod tests {
         let on = run(true);
         let off = run(false);
         assert_same_outcome(&on, &off);
-        assert_eq!(on.fp_fast_rejects, 0);
-        assert_eq!(on.materializations_avoided, 0);
-        assert_eq!(on.fp_confirm_mismatches, 0);
-        assert_eq!(on.dedup_hits_materialized, on.dedup_hits);
+        assert!(
+            on.fp_fast_rejects > 0,
+            "depth-shaped search must fast-reject duplicates before materialization"
+        );
+        assert_dedup_accounting(&on);
+        assert_dedup_accounting(&off);
+        assert_eq!(off.fp_fast_rejects, 0);
+        assert_eq!(off.dedup_hits_materialized, off.dedup_hits);
+    }
+
+    /// The deferred engine (the default) admits first-sight candidates on
+    /// (cost, hash, delta) alone and only materializes the few that are
+    /// dequeued — and must stay bit-identical to the eager engine in every
+    /// outcome field, for every cost model.
+    #[test]
+    fn deferred_materialization_is_bit_identical_to_eager() {
+        let base = nam_optimizer(2, 2, 0);
+        assert!(
+            base.config().deferred_materialization,
+            "deferred materialization must default on"
+        );
+        let c = redundant_three_qubit_circuit();
+        for cost_model in [
+            CostModel::GateCount,
+            CostModel::MultiQubitGateCount,
+            CostModel::Depth,
+        ] {
+            let run = |deferred_materialization: bool| {
+                Optimizer::new(
+                    base.transformations().to_vec(),
+                    SearchConfig {
+                        cost_model,
+                        deferred_materialization,
+                        ..base.config().clone()
+                    },
+                )
+                .optimize(&c)
+            };
+            let deferred = run(true);
+            let eager = run(false);
+            assert_same_outcome(&deferred, &eager);
+            assert_eq!(deferred.fp_fast_rejects, eager.fp_fast_rejects);
+            assert_eq!(deferred.match_attempts, eager.match_attempts);
+            assert_dedup_accounting(&deferred);
+            assert_dedup_accounting(&eager);
+            assert!(
+                deferred.materializations_deferred > 0,
+                "deferred engine must enqueue circuit-less candidates ({cost_model:?})"
+            );
+            assert!(
+                deferred.dequeue_materializations > 0,
+                "some deferred entries must materialize at dequeue ({cost_model:?})"
+            );
+            // Deferral never *adds* work: at most the enqueued-but-dequeued
+            // entries materialize.
+            assert!(deferred.dequeue_materializations <= deferred.materializations_deferred);
+            assert_eq!(eager.materializations_deferred, 0);
+            assert_eq!(eager.dequeue_materializations, 0);
+        }
     }
 
     /// Profiling off (the default) leaves the breakdown all-zero; profiling
@@ -1707,9 +1875,10 @@ mod tests {
             "profiling must record phase time"
         );
         let phases = profiled.profile.phases();
-        assert_eq!(phases.len(), 6);
+        assert_eq!(phases.len(), 7);
         assert!(phases.iter().all(|(_, secs)| *secs >= 0.0));
-        // The materializing phases ran (this search canonicalizes plenty).
-        assert!(profiled.profile.canonicalize > Duration::ZERO);
+        // The preview phase ran (the deferred default previews every
+        // first-sight candidate; canonicalize may be all but idle).
+        assert!(profiled.profile.preview > Duration::ZERO);
     }
 }

@@ -622,12 +622,8 @@ impl ServiceScheduler {
             crate::search::expand_in_order(&work, steal, |(id, frozen_best, entry)| {
                 let slot = &slots[*id];
                 let frontier = slot.frontier.as_ref().expect("selected slots are running");
-                slot.optimizer.expand_entry(
-                    entry,
-                    *frozen_best,
-                    frontier.seen(),
-                    frontier.seen_fast(),
-                )
+                slot.optimizer
+                    .expand_entry(entry, *frozen_best, frontier.seen())
             });
 
         // Merge in the global key order — fixed before expansion, so the
@@ -893,6 +889,52 @@ mod tests {
             assert_eq!(batched.matches_recomputed, solo.matches_recomputed);
             assert_eq!(batched.cache_invalidate_nodes, solo.cache_invalidate_nodes);
         }
+    }
+
+    /// Deferred materialization is invisible in service outcomes too: a
+    /// co-tenant batch under the deferred default is field-by-field
+    /// identical to the same batch on an eager service, while actually
+    /// deferring work.
+    #[test]
+    fn deferred_service_batches_match_eager_batches() {
+        let (set, _) = Generator::new(GateSet::nam(), GenConfig::standard(2, 2, 0)).run();
+        let config = SearchConfig {
+            timeout: Duration::from_secs(120),
+            max_iterations: 10,
+            num_threads: 3,
+            ..SearchConfig::default()
+        };
+        assert!(config.deferred_materialization, "deferral must default on");
+        let deferred = OptimizationService::from_ecc_set(&set, config.clone());
+        let eager = OptimizationService::from_ecc_set(
+            &set,
+            SearchConfig {
+                deferred_materialization: false,
+                ..config
+            },
+        );
+        let batch = vec![h_ladder(6), cnot_pairs(4), h_ladder(3)];
+        let a = deferred.optimize_batch(&batch);
+        let b = eager.optimize_batch(&batch);
+        let mut deferred_total = 0;
+        for (da, ea) in a.iter().zip(&b) {
+            assert_eq!(da.best_circuit, ea.best_circuit);
+            assert_eq!(da.best_cost, ea.best_cost);
+            assert_eq!(da.iterations, ea.iterations);
+            assert_eq!(da.circuits_seen, ea.circuits_seen);
+            assert_eq!(da.match_attempts, ea.match_attempts);
+            assert_eq!(da.dedup_hits, ea.dedup_hits);
+            assert_eq!(da.fp_fast_rejects, ea.fp_fast_rejects);
+            assert_eq!(da.fp_confirm_mismatches, 0);
+            assert_eq!(ea.fp_confirm_mismatches, 0);
+            assert!(da.dequeue_materializations <= da.materializations_deferred);
+            assert_eq!(ea.materializations_deferred, 0);
+            deferred_total += da.materializations_deferred;
+        }
+        assert!(
+            deferred_total > 0,
+            "the deferred service must defer some materializations"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use quartz_ir::{
 };
 use quartz_opt::{
     cancel_adjacent_inverses, canonicalize, greedy_optimize, merge_rotations, preprocess_nam,
-    transformations_from_ecc_set, MatchContext, Optimizer, SearchConfig, Transformation,
+    transformations_from_ecc_set, CostModel, MatchContext, Optimizer, SearchConfig, Transformation,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -299,6 +299,68 @@ proptest! {
         prop_assert_eq!(b.materializations_avoided, 0);
         prop_assert_eq!(b.fp_confirm_mismatches, 0);
         prop_assert_eq!(b.dedup_hits_materialized, b.dedup_hits);
+    }
+
+    /// The deferred-materialization engine (DESIGN.md §13) must be invisible
+    /// in search outcomes: admitting first-sight candidates on
+    /// (cost, hash, delta) alone and materializing only at dequeue produces
+    /// a `SearchResult` field-by-field identical to the eager engine — for
+    /// random circuits, every cost model (including non-additive depth), and
+    /// both sequential and batched-parallel expansion.
+    #[test]
+    fn deferred_engine_is_bit_identical_to_eager(
+        input in arb_clifford_t_circuit(3, 10),
+        model_pick in 0usize..4,
+        threads in 1usize..3,
+        batch_pick in 0usize..2,
+    ) {
+        let batch_size = [1usize, 4][batch_pick];
+        let cost_model = [
+            CostModel::GateCount,
+            CostModel::MultiQubitGateCount,
+            CostModel::TCount,
+            CostModel::Depth,
+        ][model_pick];
+        let nam = quartz_opt::clifford_t_to_nam(&input);
+        let config = SearchConfig {
+            timeout: Duration::from_secs(60),
+            max_iterations: 8,
+            cost_model,
+            num_threads: threads,
+            batch_size,
+            ..SearchConfig::default()
+        };
+        prop_assert!(config.deferred_materialization, "deferral must default on");
+        let deferred = Optimizer::with_index(shared_nam_index(), config.clone());
+        let eager = Optimizer::with_index(
+            shared_nam_index(),
+            SearchConfig { deferred_materialization: false, ..config },
+        );
+        let a = deferred.optimize(&nam);
+        let b = eager.optimize(&nam);
+        prop_assert_eq!(&a.best_circuit, &b.best_circuit);
+        prop_assert_eq!(a.best_cost, b.best_cost);
+        prop_assert_eq!(a.initial_cost, b.initial_cost);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.circuits_seen, b.circuits_seen);
+        prop_assert_eq!(a.dedup_hits, b.dedup_hits);
+        prop_assert_eq!(a.fp_fast_rejects, b.fp_fast_rejects);
+        prop_assert_eq!(a.match_attempts, b.match_attempts);
+        prop_assert_eq!(a.match_skips, b.match_skips);
+        prop_assert_eq!(a.ctx_rebuilds, b.ctx_rebuilds);
+        prop_assert_eq!(a.ctx_derives, b.ctx_derives);
+        let trace_a: Vec<usize> = a.improvement_trace.iter().map(|&(_, c)| c).collect();
+        let trace_b: Vec<usize> = b.improvement_trace.iter().map(|&(_, c)| c).collect();
+        prop_assert_eq!(trace_a, trace_b);
+        // Canaries and accounting on both engines.
+        prop_assert_eq!(a.fp_confirm_mismatches, 0);
+        prop_assert_eq!(b.fp_confirm_mismatches, 0);
+        prop_assert_eq!(a.dedup_hits, a.fp_fast_rejects + a.dedup_hits_materialized);
+        // Deferral only ever materializes a subset of what it enqueued; the
+        // eager engine defers nothing.
+        prop_assert!(a.dequeue_materializations <= a.materializations_deferred);
+        prop_assert_eq!(b.materializations_deferred, 0);
+        prop_assert_eq!(b.dequeue_materializations, 0);
     }
 
     #[test]
